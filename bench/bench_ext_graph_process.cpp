@@ -1,0 +1,83 @@
+// EXT-GRAPH — the paper's Section 6 future-work experiment, realized:
+// run the edge-choice process on graph topologies of varying expansion
+// and measure the rank guarantees. The complete graph reproduces the
+// two-choice process; the paper's framework predicts that good expanders
+// keep the O(n) average-rank bound while poorly-connected graphs (cycle)
+// and bottlenecked graphs (star) degrade.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/bench_env.hpp"
+#include "benchlib/table_printer.hpp"
+#include "sim/graph_process.hpp"
+
+namespace {
+
+using namespace pcq::bench;
+using namespace pcq::sim;
+
+struct topo_result {
+  double mean = 0.0;
+  double max = 0.0;
+  double late_mean = 0.0;  ///< last-window mean: detects divergence
+};
+
+topo_result run_topology(const choice_graph& graph, std::size_t removals,
+                         std::uint64_t seed) {
+  process_config cfg;
+  cfg.num_bins = graph.num_vertices;
+  cfg.num_labels = 2 * removals;
+  cfg.num_removals = removals;
+  cfg.seed = seed;
+  cfg.window = removals / 8;
+  graph_process p(graph, cfg);
+  p.run();
+  topo_result r;
+  r.mean = p.costs().mean_rank();
+  r.max = static_cast<double>(p.costs().max_rank());
+  r.late_mean = p.costs().windows().empty()
+                    ? r.mean
+                    : p.costs().windows().back().mean_rank;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 64;
+  const std::size_t removals = scaled<std::size_t>(1u << 17, 1u << 21);
+
+  print_header("EXT-GRAPH: edge-choice process across topologies (n = 64)",
+               "Section 6 future work: expansion controls the rank "
+               "guarantee; complete graph == two-(distinct-)choice process");
+
+  table_printer table({"topology", "edges", "mean_rank", "mean/n",
+                       "late_mean", "max_rank"});
+
+  struct named_graph {
+    const char* name;
+    choice_graph graph;
+  };
+  std::vector<named_graph> graphs;
+  graphs.push_back({"complete", make_complete_graph(n)});
+  graphs.push_back({"hypercube", make_hypercube_graph(6)});
+  graphs.push_back({"rand-3reg", make_random_regular_graph(n, 3, 7)});
+  graphs.push_back({"rand-1reg", make_random_regular_graph(n, 1, 8)});
+  graphs.push_back({"cycle", make_cycle_graph(n)});
+  graphs.push_back({"star", make_star_graph(n)});
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto r = run_topology(graphs[i].graph, removals, 100 + i);
+    std::printf("[%s]\n", graphs[i].name);
+    table.row({static_cast<double>(i),
+               static_cast<double>(graphs[i].graph.edges.size()), r.mean,
+               r.mean / static_cast<double>(n), r.late_mean, r.max});
+  }
+
+  std::printf(
+      "\nexpected: complete/hypercube/random-regular all O(n) and flat "
+      "(late ~ overall);\ncycle and star visibly worse — expansion is what "
+      "buys the bound.\n");
+  return 0;
+}

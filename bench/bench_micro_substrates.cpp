@@ -1,0 +1,143 @@
+// MICRO — google-benchmark microbenchmarks of the substrates: sequential
+// heaps (the MultiQueue's inner queue choice), the sequential skiplist,
+// RNG, alias sampling, Fenwick ops, and spinlock acquisition. These
+// justify the inner-heap arity choice and document substrate costs.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <queue>
+
+#include "heap/binary_heap.hpp"
+#include "heap/dary_heap.hpp"
+#include "heap/pairing_heap.hpp"
+#include "heap/skiplist.hpp"
+#include "util/discrete_distribution.hpp"
+#include "util/fenwick.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using namespace pcq;
+
+template <typename Heap>
+void bm_heap_push_pop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Heap heap;
+  xoshiro256ss rng(1);
+  // Prefill to depth n, then steady-state push+pop pairs.
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.push(static_cast<std::uint64_t>(rng()));
+  }
+  for (auto _ : state) {
+    heap.push(static_cast<std::uint64_t>(rng()));
+    benchmark::DoNotOptimize(heap.pop_value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void bm_std_priority_queue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      heap;
+  xoshiro256ss rng(1);
+  for (std::size_t i = 0; i < n; ++i) heap.push(rng());
+  for (auto _ : state) {
+    heap.push(rng());
+    benchmark::DoNotOptimize(heap.top());
+    heap.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void bm_skiplist_insert_popfront(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  skiplist<std::uint64_t> list;
+  xoshiro256ss rng(1);
+  for (std::size_t i = 0; i < n; ++i) list.insert(rng());
+  for (auto _ : state) {
+    list.insert(rng());
+    benchmark::DoNotOptimize(list.pop_front());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void bm_rng_next(benchmark::State& state) {
+  xoshiro256ss rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+
+void bm_rng_bounded(benchmark::State& state) {
+  xoshiro256ss rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bounded(12345));
+}
+
+void bm_rng_exponential(benchmark::State& state) {
+  xoshiro256ss rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(64.0));
+}
+
+void bm_alias_sample(benchmark::State& state) {
+  std::vector<double> w(64);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0 + static_cast<double>(i % 7);
+  }
+  alias_table table(w);
+  xoshiro256ss rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
+}
+
+void bm_fenwick_rank_update(benchmark::State& state) {
+  const std::size_t m = 1u << 20;
+  rank_oracle oracle(m);
+  for (std::size_t i = 0; i < m; i += 2) oracle.insert(i);
+  xoshiro256ss rng(7);
+  std::size_t flip = 1;
+  for (auto _ : state) {
+    const std::size_t label = 2 * rng.bounded(m / 2);
+    if (oracle.contains(label)) {
+      benchmark::DoNotOptimize(oracle.remove(label));
+    } else {
+      oracle.insert(label);
+    }
+    flip ^= 1;
+  }
+}
+
+void bm_spinlock_uncontended(benchmark::State& state) {
+  spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bm_heap_push_pop, binary_heap<std::uint64_t>)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_heap_push_pop,
+                   dary_heap<std::uint64_t, std::less<std::uint64_t>, 4>)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_heap_push_pop,
+                   dary_heap<std::uint64_t, std::less<std::uint64_t>, 8>)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16);
+BENCHMARK_TEMPLATE(bm_heap_push_pop, pairing_heap<std::uint64_t>)
+    ->Arg(1 << 10)
+    ->Arg(1 << 16);
+BENCHMARK(bm_std_priority_queue)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(bm_skiplist_insert_popfront)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(bm_rng_next);
+BENCHMARK(bm_rng_bounded);
+BENCHMARK(bm_rng_exponential);
+BENCHMARK(bm_alias_sample);
+BENCHMARK(bm_fenwick_rank_update);
+BENCHMARK(bm_spinlock_uncontended);
+
+BENCHMARK_MAIN();
