@@ -1,0 +1,51 @@
+// Bench environment knobs. Every bench runs at two scales:
+//   default        — seconds per bench, for CI and smoke runs;
+//   PCQ_BENCH_FULL — paper-scale parameters (minutes), for real numbers.
+// PCQ_MAX_THREADS caps thread sweeps (default: hardware concurrency).
+
+#pragma once
+
+#include <cstdlib>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+namespace pcq {
+namespace bench {
+
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && !(value[0] == '0' &&
+                                                   value[1] == '\0');
+}
+
+/// True when PCQ_BENCH_FULL is set: run at the paper's parameters.
+inline bool full_scale() {
+  static const bool flag = env_flag("PCQ_BENCH_FULL");
+  return flag;
+}
+
+/// Picks the small or the paper-scale value of a parameter.
+template <typename T>
+T scaled(T small_value, T full_value) {
+  return full_scale() ? full_value : small_value;
+}
+
+/// Trials per measured cell (paper: 10; default keeps benches quick).
+inline unsigned trials() { return full_scale() ? 10u : 3u; }
+
+/// Largest thread count benches sweep to.
+inline std::size_t max_threads() {
+  static const std::size_t cached = [] {
+    if (const char* value = std::getenv("PCQ_MAX_THREADS")) {
+      const long parsed = std::atol(value);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return cached;
+}
+
+}  // namespace bench
+}  // namespace pcq

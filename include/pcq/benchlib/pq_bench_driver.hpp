@@ -1,0 +1,164 @@
+// Structure-agnostic throughput driver: the paper's alternating
+// insert/deleteMin workload (Section 5). Works against any queue
+// exposing the handle concept of core/multi_queue.hpp:
+//
+//   auto h = queue.get_handle(thread_id);
+//   h.push(key, value);            h.push_timed(key, value) -> ts;
+//   h.try_pop(key, value) -> bool; h.try_pop_timed(key, value, ts) -> bool;
+//
+// Phases: concurrent prefill (untimed), barrier, then each thread runs
+// pairs_per_thread iterations of push(random key) + try_pop. With
+// record_events set, the timed API is used throughout (including
+// prefill) and the per-thread logs are returned for exact rank replay
+// via analyze_logs().
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/rank_recorder.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+namespace bench {
+
+struct workload_config {
+  std::size_t num_threads = 1;
+  std::size_t prefill = 0;           ///< elements inserted before timing
+  std::size_t pairs_per_thread = 0;  ///< timed (push, pop) pairs per thread
+  bool record_events = false;        ///< capture logs for rank replay
+  std::uint64_t seed = 1;
+};
+
+struct run_result {
+  double mops_per_sec = 0.0;
+  double seconds = 0.0;
+  std::uint64_t total_ops = 0;    ///< pushes + pop attempts, timed phase
+  std::uint64_t failed_pops = 0;  ///< pop attempts that found nothing
+  std::vector<event_log> logs;    ///< empty unless record_events
+};
+
+namespace detail {
+
+/// Sense-reversing spin barrier; yields so it stays correct (if slow)
+/// when threads outnumber cores.
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == generation) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace detail
+
+template <typename Queue>
+run_result run_alternating(Queue& queue, const workload_config& config) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t threads = config.num_threads ? config.num_threads : 1;
+
+  rank_recorder recorder(threads);
+  detail::spin_barrier barrier(threads);
+  std::vector<clock::time_point> starts(threads), ends(threads);
+  std::vector<std::uint64_t> failed(threads, 0);
+
+  auto worker = [&](std::size_t tid) {
+    auto handle = queue.get_handle(tid);
+    xoshiro256ss keys(derive_seed(config.seed, 0x9000 + tid));
+    auto& log = recorder.log(tid);
+    if (config.record_events) {
+      log.reserve(2 * config.pairs_per_thread +
+                  config.prefill / threads + 1);
+    }
+    // Keys stay below the queue's empty sentinel (numeric_limits::max).
+    const auto next_key = [&keys] { return keys() >> 1; };
+
+    std::size_t my_prefill = config.prefill / threads;
+    if (tid < config.prefill % threads) ++my_prefill;
+    for (std::size_t i = 0; i < my_prefill; ++i) {
+      const std::uint64_t key = next_key();
+      if (config.record_events) {
+        const std::uint64_t ts = handle.push_timed(key, key);
+        log.push_back(mq_event{ts, key, event_kind::insert});
+      } else {
+        handle.push(key, key);
+      }
+    }
+
+    barrier.arrive_and_wait();
+    starts[tid] = clock::now();
+
+    std::uint64_t my_failed = 0;
+    for (std::size_t i = 0; i < config.pairs_per_thread; ++i) {
+      const std::uint64_t key = next_key();
+      std::uint64_t popped_key = 0, popped_value = 0;
+      if (config.record_events) {
+        const std::uint64_t ts = handle.push_timed(key, key);
+        log.push_back(mq_event{ts, key, event_kind::insert});
+        std::uint64_t pop_ts = 0;
+        if (handle.try_pop_timed(popped_key, popped_value, pop_ts)) {
+          log.push_back(mq_event{pop_ts, popped_key, event_kind::remove});
+        } else {
+          ++my_failed;
+        }
+      } else {
+        handle.push(key, key);
+        if (!handle.try_pop(popped_key, popped_value)) ++my_failed;
+      }
+    }
+    ends[tid] = clock::now();
+    failed[tid] = my_failed;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (auto& t : pool) t.join();
+
+  auto first_start = starts[0];
+  auto last_end = ends[0];
+  run_result result;
+  for (std::size_t t = 0; t < threads; ++t) {
+    if (starts[t] < first_start) first_start = starts[t];
+    if (ends[t] > last_end) last_end = ends[t];
+    result.failed_pops += failed[t];
+  }
+  result.seconds =
+      std::chrono::duration<double>(last_end - first_start).count();
+  result.total_ops =
+      2 * static_cast<std::uint64_t>(config.pairs_per_thread) * threads;
+  result.mops_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.total_ops) / result.seconds / 1e6
+          : 0.0;
+  if (config.record_events) result.logs = recorder.take_logs();
+  return result;
+}
+
+/// Exact rank statistics from the timed event logs (see rank_recorder.hpp).
+inline replay_report analyze_logs(const std::vector<event_log>& logs) {
+  return replay_ranks(logs);
+}
+
+}  // namespace bench
+}  // namespace pcq

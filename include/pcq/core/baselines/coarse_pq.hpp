@@ -1,0 +1,91 @@
+// Coarse-grained baseline: one binary heap behind one lock. The paper's
+// Figure 1 "lock-based heap" competitor — strict semantics (rank always
+// 0), collapses under contention. Exposes the same handle / timed-API
+// concept as multi_queue so the bench driver is structure-agnostic.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/detail/binary_heap.hpp"
+#include "util/spinlock.hpp"
+
+namespace pcq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class coarse_pq {
+ public:
+  coarse_pq() = default;
+
+  std::size_t num_queues() const { return 1; }
+
+  std::size_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  class handle {
+   public:
+    void push(const Key& key, const Value& value) {
+      queue_->push_impl(key, value, nullptr);
+    }
+
+    std::uint64_t push_timed(const Key& key, const Value& value) {
+      std::uint64_t ts = 0;
+      queue_->push_impl(key, value, &ts);
+      return ts;
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      return queue_->pop_impl(key, value, nullptr);
+    }
+
+    bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
+      return queue_->pop_impl(key, value, &ts);
+    }
+
+   private:
+    friend class coarse_pq;
+    explicit handle(coarse_pq* queue) : queue_(queue) {}
+    coarse_pq* queue_;
+  };
+
+  handle get_handle(std::size_t /*thread_id*/) { return handle(this); }
+
+ private:
+  void push_impl(const Key& key, const Value& value, std::uint64_t* ts_out) {
+    lock_.lock();
+    heap_.push(key, value);
+    count_.store(heap_.size(), std::memory_order_relaxed);
+    if (ts_out != nullptr) {
+      *ts_out = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    lock_.unlock();
+  }
+
+  bool pop_impl(Key& key, Value& value, std::uint64_t* ts_out) {
+    lock_.lock();
+    if (heap_.empty()) {
+      lock_.unlock();
+      return false;
+    }
+    auto entry = heap_.pop();
+    count_.store(heap_.size(), std::memory_order_relaxed);
+    if (ts_out != nullptr) {
+      *ts_out = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    lock_.unlock();
+    key = entry.first;
+    value = entry.second;
+    return true;
+  }
+
+  spinlock lock_;
+  detail::binary_heap<Key, Value, Compare> heap_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace pcq

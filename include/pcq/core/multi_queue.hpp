@@ -1,0 +1,247 @@
+// The concurrent (1+beta)-choice MultiQueue of Alistarh, Kopinsky, Li,
+// Nadiradze, "The Power of Choice in Priority Scheduling" (PODC 2017).
+//
+// Structure: n = queue_factor * num_threads sequential binary heaps, each
+// guarded by its own spinlock, each publishing its current minimum key in
+// an atomic "top" cell so deleteMin can compare candidates without
+// locking.
+//
+// insert(key):   sample one queue uniformly (optionally sticky for s
+//                consecutive inserts), lock it, push.
+// deleteMin():   with probability beta sample `choices` distinct queues,
+//                read their published tops, lock the one with the least
+//                top and pop it; with probability 1-beta pop a single
+//                uniformly sampled queue. beta = 1, choices = 2 is the
+//                classic MultiQueue; beta < 1 is the paper's relaxation
+//                that trades rank quality for less contention.
+//
+// Any lock acquisition uses try_lock and resamples on failure, so threads
+// never wait behind each other on a hot queue.
+//
+// The *_timed variants additionally draw a timestamp from a global atomic
+// counter *inside the critical section* (the operation's linearization
+// point). Replaying the merged timestamp order through a rank oracle
+// (core/rank_recorder.hpp) yields exact, skew-free rank statistics.
+//
+// Key requirements: trivially copyable, totally ordered by Compare, and
+// std::numeric_limits<Key>::max() is reserved as the empty sentinel
+// (never inserted). The benches use std::uint64_t keys.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/detail/binary_heap.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace pcq {
+
+struct mq_config {
+  /// Probability that a deleteMin uses the d-choice rule (vs a single
+  /// uniform sample). 1.0 reproduces the classic two-choice MultiQueue.
+  double beta = 1.0;
+  /// Number of queues compared by a choosing deleteMin (d). 2 is the
+  /// paper's setting; more choices buy slightly better ranks for extra
+  /// top reads.
+  std::size_t choices = 2;
+  /// Queues per thread (c): #queues = c * num_threads. The literature
+  /// (and the paper) fix c = 2 to balance contention against rank.
+  std::size_t queue_factor = 2;
+  /// An insert reuses its sampled queue for this many consecutive
+  /// inserts. 1 is the paper's algorithm; larger values are the locality
+  /// extension ablated in bench_abl_sticky.
+  std::size_t stickiness = 1;
+  /// Base seed for the per-thread sampling RNG streams.
+  std::uint64_t seed = 0x706371u;  // "pcq"
+};
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class multi_queue {
+  static_assert(std::is_trivially_copyable<Key>::value,
+                "multi_queue keys must be trivially copyable (they are "
+                "published through std::atomic)");
+
+ public:
+  multi_queue(const mq_config& config, std::size_t num_threads)
+      : config_(config),
+        num_queues_(std::max<std::size_t>(
+            1, config.queue_factor * std::max<std::size_t>(1, num_threads))),
+        slots_(new slot[num_queues_]) {
+    if (config_.choices < 1) config_.choices = 1;
+    if (config_.stickiness < 1) config_.stickiness = 1;
+  }
+
+  std::size_t num_queues() const { return num_queues_; }
+
+  /// Elements currently buffered, summed over queues. Approximate under
+  /// concurrency (each per-queue count is read atomically but the sum is
+  /// not a snapshot); exact when quiescent.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < num_queues_; ++i) {
+      total += slots_[i].count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  class handle {
+   public:
+    void push(const Key& key, const Value& value) {
+      queue_->push_impl(*this, key, value, nullptr);
+    }
+
+    /// push + linearization timestamp (drawn under the queue lock).
+    std::uint64_t push_timed(const Key& key, const Value& value) {
+      std::uint64_t ts = 0;
+      queue_->push_impl(*this, key, value, &ts);
+      return ts;
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      return queue_->pop_impl(*this, key, value, nullptr);
+    }
+
+    bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
+      return queue_->pop_impl(*this, key, value, &ts);
+    }
+
+   private:
+    friend class multi_queue;
+    handle(multi_queue* queue, std::size_t thread_id)
+        : queue_(queue),
+          rng_(derive_seed(queue->config_.seed, thread_id)),
+          scratch_(std::min(queue->config_.choices, queue->num_queues_)) {}
+
+    multi_queue* queue_;
+    xoshiro256ss rng_;
+    std::vector<std::size_t> scratch_;  ///< d-choice sample buffer
+    std::size_t sticky_queue_ = 0;
+    std::size_t sticky_left_ = 0;  ///< inserts remaining on sticky_queue_
+  };
+
+  /// One handle per thread; thread_id only seeds the handle's RNG stream.
+  handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
+
+ private:
+  static constexpr Key empty_key() {
+    return std::numeric_limits<Key>::max();
+  }
+
+  struct alignas(64) slot {
+    spinlock lock;
+    std::atomic<Key> top{empty_key()};
+    std::atomic<std::size_t> count{0};
+    detail::binary_heap<Key, Value, Compare> heap;
+  };
+
+  void publish(slot& s) {
+    s.top.store(s.heap.empty() ? empty_key() : s.heap.top_key(),
+                std::memory_order_release);
+    s.count.store(s.heap.size(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void push_impl(handle& h, const Key& key, const Value& value,
+                 std::uint64_t* ts_out) {
+    while (true) {
+      if (h.sticky_left_ == 0) {
+        h.sticky_queue_ = h.rng_.bounded(num_queues_);
+        h.sticky_left_ = config_.stickiness;
+      }
+      slot& s = slots_[h.sticky_queue_];
+      if (!s.lock.try_lock()) {
+        // Contended: abandon the sticky queue and resample.
+        h.sticky_left_ = 0;
+        continue;
+      }
+      s.heap.push(key, value);
+      publish(s);
+      if (ts_out != nullptr) *ts_out = tick();
+      s.lock.unlock();
+      --h.sticky_left_;
+      return;
+    }
+  }
+
+  bool pop_impl(handle& h, Key& key, Value& value, std::uint64_t* ts_out) {
+    const Compare compare{};
+    for (unsigned attempt = 1;; ++attempt) {
+      std::size_t candidate;
+      bool have_candidate;
+      if (config_.choices >= 2 && num_queues_ >= 2 &&
+          h.rng_.bernoulli(config_.beta)) {
+        have_candidate = sample_best_of_d(h, compare, candidate);
+      } else {
+        candidate = h.rng_.bounded(num_queues_);
+        have_candidate =
+            slots_[candidate].top.load(std::memory_order_acquire) !=
+            empty_key();
+      }
+      if (have_candidate) {
+        slot& s = slots_[candidate];
+        if (s.lock.try_lock()) {
+          if (!s.heap.empty()) {
+            auto entry = s.heap.pop();
+            publish(s);
+            if (ts_out != nullptr) *ts_out = tick();
+            s.lock.unlock();
+            key = entry.first;
+            value = entry.second;
+            return true;
+          }
+          s.lock.unlock();
+        }
+      }
+      // Periodically sweep all published tops; if every queue looks
+      // empty, report emptiness (relaxed: concurrent pushes may race).
+      if (attempt % 32 == 0 || !have_candidate) {
+        bool any = false;
+        for (std::size_t i = 0; i < num_queues_ && !any; ++i) {
+          any = slots_[i].top.load(std::memory_order_acquire) != empty_key();
+        }
+        if (!any) return false;
+      }
+    }
+  }
+
+  /// Samples min(choices, num_queues) distinct queues and returns the
+  /// index whose published top is least; false if all sampled are empty.
+  bool sample_best_of_d(handle& h, const Compare& compare,
+                        std::size_t& out) {
+    const std::size_t d = h.scratch_.size();
+    sample_distinct(h.rng_, num_queues_, d, h.scratch_.data());
+    bool found = false;
+    Key best{};
+    for (std::size_t i = 0; i < d; ++i) {
+      const std::size_t q = h.scratch_[i];
+      const Key top = slots_[q].top.load(std::memory_order_acquire);
+      if (top == empty_key()) continue;
+      if (!found || compare(top, best)) {
+        found = true;
+        best = top;
+        out = q;
+      }
+    }
+    return found;
+  }
+
+  mq_config config_;
+  std::size_t num_queues_;
+  std::unique_ptr<slot[]> slots_;
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace pcq

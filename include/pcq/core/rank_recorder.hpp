@@ -1,0 +1,111 @@
+// Event logging and exact rank replay for relaxed priority queues.
+//
+// Quality of a relaxed deleteMin is measured by *rank*: how many smaller
+// keys were still buffered when a key was deleted (0 = a strict heap).
+// Measuring this online would serialize the structure under test, so
+// instead every timed operation logs (timestamp, key, kind) into a
+// per-thread vector — timestamps come from the structure's global atomic
+// clock, drawn at the linearization point inside the slot lock — and the
+// merged timestamp order is replayed offline through a Fenwick rank
+// oracle. The replay is exact and skew-free: it sees precisely the
+// interleaving the locks serialized.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/fenwick.hpp"
+#include "util/stats.hpp"
+
+namespace pcq {
+
+enum class event_kind : std::uint8_t { insert, remove };
+
+struct mq_event {
+  std::uint64_t timestamp;
+  std::uint64_t key;
+  event_kind kind;
+};
+
+using event_log = std::vector<mq_event>;
+
+/// Per-thread event sink. Threads append to disjoint logs (no sharing,
+/// no ordering requirements); merge order is recovered from timestamps.
+class rank_recorder {
+ public:
+  explicit rank_recorder(std::size_t num_threads) : logs_(num_threads) {}
+
+  void reserve(std::size_t events_per_thread) {
+    for (auto& log : logs_) log.reserve(events_per_thread);
+  }
+
+  void record(std::size_t thread_id, event_kind kind, std::uint64_t timestamp,
+              std::uint64_t key) {
+    logs_[thread_id].push_back(mq_event{timestamp, key, kind});
+  }
+
+  event_log& log(std::size_t thread_id) { return logs_[thread_id]; }
+  const std::vector<event_log>& logs() const { return logs_; }
+  std::vector<event_log> take_logs() { return std::move(logs_); }
+
+ private:
+  std::vector<event_log> logs_;
+};
+
+struct replay_report {
+  running_stats rank_stats;       ///< rank of every matched deletion
+  std::uint64_t deletions = 0;    ///< matched deletions replayed
+  std::uint64_t inversions = 0;   ///< deletions with rank > 0
+  std::uint64_t unmatched = 0;    ///< removes of keys not present (bug smell)
+};
+
+/// Merges per-thread logs by timestamp and replays them through a rank
+/// oracle over the coordinate-compressed key domain.
+inline replay_report replay_ranks(const std::vector<event_log>& logs) {
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+
+  std::vector<mq_event> merged;
+  merged.reserve(total);
+  for (const auto& log : logs) {
+    merged.insert(merged.end(), log.begin(), log.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const mq_event& a, const mq_event& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(merged.size());
+  for (const auto& e : merged) keys.push_back(e.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const auto compress = [&keys](std::uint64_t key) {
+    return static_cast<std::size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  };
+
+  rank_oracle oracle(keys.size());
+  replay_report report;
+  for (const auto& e : merged) {
+    const std::size_t label = compress(e.key);
+    if (e.kind == event_kind::insert) {
+      oracle.insert(label);
+    } else {
+      if (!oracle.contains(label)) {
+        ++report.unmatched;
+        continue;
+      }
+      const std::uint64_t rank = oracle.remove(label);
+      ++report.deletions;
+      if (rank > 0) ++report.inversions;
+      report.rank_stats.push(static_cast<double>(rank));
+    }
+  }
+  return report;
+}
+
+}  // namespace pcq

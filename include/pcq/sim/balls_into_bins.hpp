@@ -1,0 +1,72 @@
+// Classic (1+beta)-choice balls-into-bins allocation (Peres, Talwar,
+// Wieder). Each ball lands in the lesser-loaded of two sampled bins with
+// probability beta, in one uniform bin otherwise. Appendix A of the
+// paper reduces the round-robin label process to exactly this process
+// ("virtual bins" = per-queue removal counts); bench_apxA compares the
+// two gap trajectories.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pcq {
+namespace sim {
+
+class balls_into_bins {
+ public:
+  balls_into_bins(std::size_t num_bins, double beta, std::uint64_t seed)
+      : beta_(beta), rng_(seed), loads_(num_bins, 0) {}
+
+  /// Throws `balls` additional balls (cumulative across calls).
+  void run(std::uint64_t balls) {
+    const std::size_t n = loads_.size();
+    for (std::uint64_t b = 0; b < balls; ++b) {
+      std::size_t target;
+      if (n >= 2 && rng_.bernoulli(beta_)) {
+        const std::size_t i = rng_.bounded(n);
+        std::size_t j = rng_.bounded(n);
+        while (j == i) j = rng_.bounded(n);
+        target = loads_[i] <= loads_[j] ? i : j;
+      } else {
+        target = rng_.bounded(n);
+      }
+      ++loads_[target];
+    }
+    total_ += balls;
+  }
+
+  struct gap_stat {
+    double max_minus_avg = 0.0;
+    double avg_minus_min = 0.0;
+  };
+
+  gap_stat current_gap() const {
+    std::uint64_t mx = 0;
+    std::uint64_t mn = ~0ull;
+    for (const std::uint64_t load : loads_) {
+      if (load > mx) mx = load;
+      if (load < mn) mn = load;
+    }
+    const double avg =
+        static_cast<double>(total_) / static_cast<double>(loads_.size());
+    gap_stat g;
+    g.max_minus_avg = static_cast<double>(mx) - avg;
+    g.avg_minus_min = avg - static_cast<double>(mn);
+    return g;
+  }
+
+  const std::vector<std::uint64_t>& loads() const { return loads_; }
+
+ private:
+  double beta_;
+  xoshiro256ss rng_;
+  std::vector<std::uint64_t> loads_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pcq

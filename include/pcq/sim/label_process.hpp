@@ -1,0 +1,296 @@
+// The sequential (1+beta)-choice label process of Theorem 1.
+//
+// The paper abstracts the MultiQueue into a balls-into-bins-style
+// process: labels arrive in increasing order, each inserted into one of
+// n bins; each removal flips a beta-coin and deletes the least front
+// label among d sampled bins (heads) or the front label of one sampled
+// bin (tails). The *cost* (rank) of a removal is the number of smaller
+// labels still present anywhere. Theorem 1: for beta in (0, 1], the
+// expected average cost is O(n / beta^2) and the expected worst-case
+// cost is O(n log n / beta) — at ANY time t. Theorem 6: the beta = 0
+// single-choice process diverges as Omega(sqrt(t n log n)).
+//
+// Section 3 extensions modeled here:
+//  - gamma-biased insertion distributions (linear_ramp / two_block),
+//  - Karp-Zhang own-queue round-robin removal (the no-choice ancestor),
+//  - round-robin insertion order (the Appendix A reduction's setting).
+//
+// Because labels arrive in increasing order, each bin is a FIFO whose
+// front is its minimum, and ranks come from a Fenwick oracle over the
+// label domain — the whole process runs in O((m + t) log m).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "util/discrete_distribution.hpp"
+#include "util/fenwick.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+namespace sim {
+
+enum class bias_kind {
+  none,         ///< uniform insertion
+  linear_ramp,  ///< bin i gets weight 1 + gamma * (2i/(n-1) - 1)
+  two_block,    ///< first half weight 1 + gamma, second half 1 - gamma
+};
+
+enum class removal_policy {
+  choice,                ///< the paper's (1+beta)/d-choice rule
+  own_queue_round_robin, ///< Karp-Zhang [20]: bin (step mod n), no choice
+};
+
+enum class insertion_order {
+  uniform,      ///< random bin per the bias distribution
+  round_robin,  ///< bin (insert counter mod n) — Appendix A's setting
+};
+
+struct process_config {
+  std::size_t num_bins = 64;
+  double beta = 1.0;    ///< probability a removal uses the d-choice rule
+  double gamma = 0.0;   ///< insertion bias magnitude (Section 3)
+  bias_kind bias = bias_kind::none;
+  std::size_t choices = 2;  ///< d, bins compared by a choosing removal
+  removal_policy removal = removal_policy::choice;
+  insertion_order order = insertion_order::uniform;
+  std::size_t num_labels = 1u << 16;    ///< insertions performed by run()
+  std::size_t num_removals = 1u << 15;  ///< removals performed by run()
+  std::uint64_t seed = 1;
+  std::size_t window = 0;  ///< 0: no windowed stats; else removals/window
+};
+
+struct window_stat {
+  std::size_t first_step = 0;  ///< removal index the window starts at
+  double mean_rank = 0.0;
+  std::uint64_t max_rank = 0;
+};
+
+/// Per-removal cost aggregation: overall mean/max plus optional
+/// fixed-size windows over the removal sequence (for any-t flatness
+/// checks).
+class cost_trace {
+ public:
+  explicit cost_trace(std::size_t window = 0) : window_(window) {}
+
+  void add(std::uint64_t rank) {
+    sum_ += rank;
+    ++count_;
+    if (rank > max_) max_ = rank;
+    if (window_ == 0) return;
+    window_sum_ += rank;
+    ++window_count_;
+    if (rank > window_max_) window_max_ = rank;
+    if (window_count_ == window_) flush_window();
+  }
+
+  /// Closes a non-empty partial window; called once after the run.
+  void finish() {
+    if (window_ != 0 && window_count_ > 0) flush_window();
+  }
+
+  double mean_rank() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t max_rank() const { return max_; }
+  std::uint64_t num_removals() const { return count_; }
+  const std::vector<window_stat>& windows() const { return windows_; }
+
+ private:
+  void flush_window() {
+    window_stat w;
+    w.first_step = static_cast<std::size_t>(count_) - window_count_;
+    w.mean_rank =
+        static_cast<double>(window_sum_) / static_cast<double>(window_count_);
+    w.max_rank = window_max_;
+    windows_.push_back(w);
+    window_sum_ = 0;
+    window_count_ = 0;
+    window_max_ = 0;
+  }
+
+  std::size_t window_;
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t window_sum_ = 0;
+  std::size_t window_count_ = 0;
+  std::uint64_t window_max_ = 0;
+  std::vector<window_stat> windows_;
+};
+
+class label_process {
+ public:
+  explicit label_process(const process_config& config)
+      : config_(config),
+        rng_(config.seed),
+        bins_(config.num_bins),
+        removals_from_(config.num_bins, 0),
+        costs_(config.window) {
+    if (config_.choices < 1) config_.choices = 1;
+    choice_scratch_.resize(config_.choices < config_.num_bins
+                               ? config_.choices
+                               : config_.num_bins);
+    if (config_.bias != bias_kind::none && config_.gamma > 0.0) {
+      bias_sampler_.reset(new alias_table(build_bias_weights()));
+    }
+  }
+
+  /// Evenly interleaves num_labels insertions with num_removals removals
+  /// (insertions lead, so removals never see an empty system as long as
+  /// num_labels >= num_removals).
+  void run() {
+    prepare_oracle(config_.num_labels);
+    const std::size_t per_step =
+        config_.num_removals ? config_.num_labels / config_.num_removals : 0;
+    std::size_t extra =
+        config_.num_removals ? config_.num_labels % config_.num_removals : 0;
+    std::size_t inserted = 0;
+    for (std::size_t step = 0; step < config_.num_removals; ++step) {
+      std::size_t burst = per_step + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      while (burst-- > 0 && inserted < config_.num_labels) {
+        insert_label(inserted++);
+      }
+      if (live_ == 0) break;  // degenerate config (more removals than labels)
+      remove_label();
+    }
+    while (inserted < config_.num_labels) insert_label(inserted++);
+    costs_.finish();
+  }
+
+  /// MultiQueue-bench-shaped schedule: `prefill` insertions up front,
+  /// then `pairs` alternating (insert, remove) pairs.
+  void run_streaming(std::size_t prefill, std::size_t pairs) {
+    prepare_oracle(prefill + pairs);
+    std::size_t inserted = 0;
+    while (inserted < prefill) insert_label(inserted++);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      insert_label(inserted++);
+      if (live_ == 0) break;
+      remove_label();
+    }
+    costs_.finish();
+  }
+
+  const cost_trace& costs() const { return costs_; }
+
+  /// Number of removals whose chosen bin was `bin` (Appendix A's
+  /// "virtual bin load").
+  std::uint64_t removals_from(std::size_t bin) const {
+    return removals_from_[bin];
+  }
+
+  /// Labels currently present across all bins.
+  std::uint64_t live() const { return live_; }
+
+ private:
+  void prepare_oracle(std::size_t domain) {
+    oracle_.reset(new rank_oracle(domain));
+  }
+
+  std::vector<double> build_bias_weights() const {
+    const std::size_t n = config_.num_bins;
+    std::vector<double> weights(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double w = 1.0;
+      switch (config_.bias) {
+        case bias_kind::none:
+          break;
+        case bias_kind::linear_ramp:
+          w = 1.0 + config_.gamma *
+                        (n > 1 ? 2.0 * static_cast<double>(i) /
+                                         static_cast<double>(n - 1) -
+                                     1.0
+                               : 0.0);
+          break;
+        case bias_kind::two_block:
+          w = i < n / 2 ? 1.0 + config_.gamma : 1.0 - config_.gamma;
+          break;
+      }
+      weights[i] = w < 0.0 ? 0.0 : w;
+    }
+    return weights;
+  }
+
+  std::size_t pick_insertion_bin() {
+    if (config_.order == insertion_order::round_robin) {
+      return insert_counter_++ % config_.num_bins;
+    }
+    ++insert_counter_;
+    if (bias_sampler_) return bias_sampler_->sample(rng_);
+    return rng_.bounded(config_.num_bins);
+  }
+
+  void insert_label(std::uint64_t label) {
+    bins_[pick_insertion_bin()].push_back(label);
+    oracle_->insert(static_cast<std::size_t>(label));
+    ++live_;
+  }
+
+  void remove_label() {
+    const std::size_t bin = pick_removal_bin();
+    const std::uint64_t label = bins_[bin].front();
+    bins_[bin].pop_front();
+    const std::uint64_t rank =
+        oracle_->remove(static_cast<std::size_t>(label));
+    --live_;
+    ++removals_from_[bin];
+    costs_.add(rank);
+  }
+
+  std::size_t pick_removal_bin() {
+    const std::size_t n = config_.num_bins;
+    if (config_.removal == removal_policy::own_queue_round_robin) {
+      // Karp-Zhang: each step services the next bin in cyclic order,
+      // skipping empties.
+      for (std::size_t tries = 0; tries <= n; ++tries) {
+        const std::size_t bin = rr_cursor_++ % n;
+        if (!bins_[bin].empty()) return bin;
+      }
+    }
+    while (true) {
+      if (config_.choices >= 2 && n >= 2 && rng_.bernoulli(config_.beta)) {
+        // d-choice: least front label among d distinct sampled bins.
+        const std::size_t d = choice_scratch_.size();
+        sample_distinct(rng_, n, d, choice_scratch_.data());
+        bool found = false;
+        std::size_t best_bin = 0;
+        std::uint64_t best_label = 0;
+        for (std::size_t i = 0; i < d; ++i) {
+          const std::size_t bin = choice_scratch_[i];
+          if (bins_[bin].empty()) continue;
+          if (!found || bins_[bin].front() < best_label) {
+            found = true;
+            best_bin = bin;
+            best_label = bins_[bin].front();
+          }
+        }
+        if (found) return best_bin;
+      } else {
+        const std::size_t bin = rng_.bounded(n);
+        if (!bins_[bin].empty()) return bin;
+      }
+    }
+  }
+
+  process_config config_;
+  xoshiro256ss rng_;
+  std::vector<std::deque<std::uint64_t>> bins_;
+  std::vector<std::uint64_t> removals_from_;
+  std::unique_ptr<rank_oracle> oracle_;
+  std::unique_ptr<alias_table> bias_sampler_;
+  std::vector<std::size_t> choice_scratch_;  ///< d-choice sample buffer
+  cost_trace costs_;
+  std::uint64_t live_ = 0;
+  std::size_t insert_counter_ = 0;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pcq

@@ -1,0 +1,60 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution. The label process uses it for the biased insertion
+// distributions of Section 3 (gamma-bounded adversarial bias), where the
+// weights are fixed up front and sampled millions of times.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pcq {
+
+class alias_table {
+ public:
+  /// Weights must be non-negative with a positive sum; they need not be
+  /// normalized.
+  explicit alias_table(const std::vector<double>& weights)
+      : prob_(weights.size(), 1.0), alias_(weights.size(), 0) {
+    const std::size_t n = weights.size();
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+
+    std::vector<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      const std::size_t l = large.back();
+      small.pop_back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers are 1.0 up to rounding: keep prob 1 (self-alias).
+    for (const std::size_t i : small) alias_[i] = i;
+    for (const std::size_t i : large) alias_[i] = i;
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+  template <typename Rng>
+  std::size_t sample(Rng& rng) const {
+    const std::size_t column = rng.bounded(prob_.size());
+    return rng.next_double() < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace pcq

@@ -1,0 +1,87 @@
+// Fenwick (binary indexed) tree and the rank oracle built on it.
+//
+// Rank measurement is the paper's cost model: the rank of a deleted
+// element is the number of smaller elements still present. Both the
+// sequential label process and the concurrent replay need
+// insert / remove / count-smaller in O(log m) over a dense label domain;
+// a Fenwick tree of per-label counts is the cheapest structure that does
+// all three.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pcq {
+
+/// Prefix-sum tree over `size` slots of 32-bit counts (1-based inside,
+/// 0-based API).
+class fenwick_tree {
+ public:
+  explicit fenwick_tree(std::size_t size) : tree_(size + 1, 0) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  void add(std::size_t index, std::int32_t delta) {
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(tree_[i]) + delta);
+    }
+  }
+
+  /// Sum of counts in [0, index].
+  std::uint64_t prefix_sum(std::size_t index) const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  std::uint64_t total() const {
+    return size() ? prefix_sum(size() - 1) : 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> tree_;
+};
+
+/// Multiset of labels drawn from [0, domain) answering "how many present
+/// labels are strictly smaller than x?" — exactly the paper's rank.
+class rank_oracle {
+ public:
+  explicit rank_oracle(std::size_t domain)
+      : counts_(domain, 0), tree_(domain) {}
+
+  std::size_t domain() const { return counts_.size(); }
+  std::uint64_t size() const { return live_; }
+  bool contains(std::size_t label) const { return counts_[label] > 0; }
+
+  void insert(std::size_t label) {
+    ++counts_[label];
+    ++live_;
+    tree_.add(label, +1);
+  }
+
+  /// Removes one instance and returns its rank (count of strictly
+  /// smaller labels that remain present). No-op returning 0 if absent.
+  std::uint64_t remove(std::size_t label) {
+    if (counts_[label] == 0) return 0;
+    --counts_[label];
+    --live_;
+    tree_.add(label, -1);
+    return count_less(label);
+  }
+
+  std::uint64_t count_less(std::size_t label) const {
+    return label == 0 ? 0 : tree_.prefix_sum(label - 1);
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  fenwick_tree tree_;
+  std::uint64_t live_ = 0;
+};
+
+}  // namespace pcq

@@ -1,0 +1,126 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components of pcq (the MultiQueue's queue sampling, the
+// sequential label process, workload key generation) take explicit 64-bit
+// seeds and draw from xoshiro256** streams, so every experiment is exactly
+// reproducible. splitmix64 is used only to expand a single seed word into
+// a full xoshiro state, per the generator authors' recommendation.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace pcq {
+
+/// SplitMix64 (Steele, Lea, Flood). Used to seed xoshiro256** and as a
+/// cheap standalone mixer for deriving per-thread seeds.
+class splitmix64 {
+ public:
+  explicit splitmix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna). All-purpose 64-bit generator:
+/// sub-nanosecond per draw, 2^256 - 1 period, passes BigCrush.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256ss(std::uint64_t seed = 1) {
+    splitmix64 mix(seed);
+    for (auto& word : state_) word = mix();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const auto m = static_cast<unsigned __int128>(x) * bound;
+      const auto low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (p outside [0,1] clamps to always/never).
+  bool bernoulli(double p) {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return next_double() < p;
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Derives a statistically independent seed for stream `index` of a
+/// family rooted at `base` (per-thread RNGs, per-trial RNGs, ...).
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  splitmix64 mix(base ^ (0xd1b54a32d192ed03ull * (index + 1)));
+  return mix();
+}
+
+/// Writes `count` DISTINCT uniform samples from [0, population) into
+/// out[0..count) using Floyd's subset-sampling algorithm: uniform over
+/// count-subsets, O(count^2) membership checks, no allocation. The
+/// output order is not shuffled (fine for min-of-d selection).
+/// Requires count <= population.
+template <typename Rng>
+void sample_distinct(Rng& rng, std::size_t population, std::size_t count,
+                     std::size_t* out) {
+  std::size_t filled = 0;
+  for (std::size_t j = population - count; j < population; ++j) {
+    const std::size_t t = rng.bounded(j + 1);
+    bool seen = false;
+    for (std::size_t i = 0; i < filled; ++i) seen |= (out[i] == t);
+    out[filled++] = seen ? j : t;
+  }
+}
+
+}  // namespace pcq

@@ -1,0 +1,75 @@
+// Small statistics helpers shared by the benches and the replay machinery.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pcq {
+
+/// Streaming accumulator: count / mean / min / max / variance in O(1)
+/// memory (Welford's algorithm for the second moment).
+class running_stats {
+ public:
+  void push(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const running_stats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-th quantile (p in [0, 1]) with linear interpolation between order
+/// statistics. Takes a copy: callers keep their sample order.
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 1.0) return values.back();
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace pcq

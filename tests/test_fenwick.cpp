@@ -1,0 +1,71 @@
+#include "util/fenwick.hpp"
+
+#include <vector>
+
+#include "test_macros.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  // fenwick_tree prefix sums against a brute-force array.
+  {
+    const std::size_t n = 200;
+    pcq::fenwick_tree tree(n);
+    std::vector<std::int64_t> brute(n, 0);
+    pcq::xoshiro256ss rng(1);
+    for (int step = 0; step < 5000; ++step) {
+      const std::size_t i = rng.bounded(n);
+      const std::int32_t delta = brute[i] > 0 && rng.bernoulli(0.5) ? -1 : 1;
+      tree.add(i, delta);
+      brute[i] += delta;
+      const std::size_t q = rng.bounded(n);
+      std::uint64_t expected = 0;
+      for (std::size_t j = 0; j <= q; ++j) {
+        expected += static_cast<std::uint64_t>(brute[j]);
+      }
+      CHECK(tree.prefix_sum(q) == expected);
+    }
+  }
+
+  // rank_oracle against a brute-force multiset.
+  {
+    const std::size_t domain = 100;
+    pcq::rank_oracle oracle(domain);
+    std::vector<std::uint32_t> brute(domain, 0);
+    pcq::xoshiro256ss rng(2);
+    std::uint64_t live = 0;
+    for (int step = 0; step < 20000; ++step) {
+      const std::size_t label = rng.bounded(domain);
+      if (rng.bernoulli(0.5)) {
+        oracle.insert(label);
+        ++brute[label];
+        ++live;
+      } else if (brute[label] > 0) {
+        const std::uint64_t rank = oracle.remove(label);
+        --brute[label];
+        --live;
+        std::uint64_t expected = 0;
+        for (std::size_t j = 0; j < label; ++j) expected += brute[j];
+        CHECK(rank == expected);
+      } else {
+        CHECK(!oracle.contains(label));
+        CHECK(oracle.remove(label) == 0);  // absent: no-op
+      }
+      CHECK(oracle.size() == live);
+      CHECK(oracle.contains(label) == (brute[label] > 0));
+    }
+  }
+
+  // count_less at the boundaries.
+  {
+    pcq::rank_oracle oracle(10);
+    oracle.insert(0);
+    oracle.insert(5);
+    oracle.insert(5);
+    CHECK(oracle.count_less(0) == 0);
+    CHECK(oracle.count_less(5) == 1);
+    CHECK(oracle.count_less(9) == 3);
+  }
+
+  std::printf("test_fenwick OK\n");
+  return 0;
+}

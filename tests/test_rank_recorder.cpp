@@ -1,0 +1,96 @@
+#include "core/rank_recorder.hpp"
+
+#include <cstdint>
+
+#include "test_macros.hpp"
+
+namespace {
+
+using pcq::event_kind;
+using pcq::event_log;
+using pcq::mq_event;
+
+}  // namespace
+
+int main() {
+  // Hand-built history with known ranks.
+  //   t1 ins 10, t2 ins 20, t3 ins 30
+  //   t4 rem 20  -> rank 1 (10 present), inversion
+  //   t5 rem 10  -> rank 0
+  //   t6 ins 5, t7 rem 30 -> rank 1 (5 present), inversion
+  {
+    event_log log{
+        {1, 10, event_kind::insert}, {2, 20, event_kind::insert},
+        {3, 30, event_kind::insert}, {4, 20, event_kind::remove},
+        {5, 10, event_kind::remove}, {6, 5, event_kind::insert},
+        {7, 30, event_kind::remove},
+    };
+    const auto report = pcq::replay_ranks({log});
+    CHECK(report.deletions == 3);
+    CHECK(report.inversions == 2);
+    CHECK(report.unmatched == 0);
+    CHECK_NEAR(report.rank_stats.mean(), 2.0 / 3.0, 1e-12);
+    CHECK_NEAR(report.rank_stats.max(), 1.0, 0.0);
+  }
+
+  // Cross-thread merge: events split over logs in arbitrary per-thread
+  // order replay identically to the single-log history.
+  {
+    event_log a{{2, 20, event_kind::insert}, {4, 20, event_kind::remove},
+                {6, 5, event_kind::insert}};
+    event_log b{{1, 10, event_kind::insert}, {3, 30, event_kind::insert},
+                {5, 10, event_kind::remove}, {7, 30, event_kind::remove}};
+    const auto split = pcq::replay_ranks({a, b});
+    CHECK(split.deletions == 3);
+    CHECK(split.inversions == 2);
+    CHECK_NEAR(split.rank_stats.mean(), 2.0 / 3.0, 1e-12);
+  }
+
+  // Strict FIFO-of-min history: zero inversions.
+  {
+    event_log log{
+        {1, 3, event_kind::insert}, {2, 1, event_kind::insert},
+        {3, 2, event_kind::insert}, {4, 1, event_kind::remove},
+        {5, 2, event_kind::remove}, {6, 3, event_kind::remove},
+    };
+    const auto report = pcq::replay_ranks({log});
+    CHECK(report.deletions == 3);
+    CHECK(report.inversions == 0);
+    CHECK_NEAR(report.rank_stats.mean(), 0.0, 0.0);
+  }
+
+  // Duplicate keys count as a multiset; removing one instance leaves
+  // the other, and equal keys are not "smaller" (no self-inversion).
+  {
+    event_log log{
+        {1, 7, event_kind::insert}, {2, 7, event_kind::insert},
+        {3, 7, event_kind::remove}, {4, 7, event_kind::remove},
+    };
+    const auto report = pcq::replay_ranks({log});
+    CHECK(report.deletions == 2);
+    CHECK(report.inversions == 0);
+  }
+
+  // A remove with no matching insert is reported, not crashed on.
+  {
+    event_log log{{1, 42, event_kind::remove}};
+    const auto report = pcq::replay_ranks({log});
+    CHECK(report.deletions == 0);
+    CHECK(report.unmatched == 1);
+  }
+
+  // rank_recorder plumbing.
+  {
+    pcq::rank_recorder recorder(2);
+    recorder.record(0, event_kind::insert, 1, 10);
+    recorder.record(1, event_kind::remove, 2, 10);
+    CHECK(recorder.logs()[0].size() == 1);
+    CHECK(recorder.logs()[1].size() == 1);
+    const auto report = pcq::replay_ranks(recorder.logs());
+    CHECK(report.deletions == 1);
+    CHECK(report.unmatched == 0);
+  }
+
+  std::printf("test_rank_recorder OK\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "test_macros.hpp"
+#include "util/discrete_distribution.hpp"
+
+int main() {
+  // Determinism: identical seeds produce identical streams.
+  {
+    pcq::xoshiro256ss a(123), b(123), c(124);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+      const auto x = a();
+      all_equal &= (x == b());
+      any_diff |= (x != c());
+    }
+    CHECK(all_equal);
+    CHECK(any_diff);
+  }
+
+  // derive_seed gives distinct streams per index.
+  CHECK(pcq::derive_seed(7, 0) != pcq::derive_seed(7, 1));
+  CHECK(pcq::derive_seed(7, 0) == pcq::derive_seed(7, 0));
+
+  // bounded(n) stays in range and is roughly uniform.
+  {
+    pcq::xoshiro256ss rng(42);
+    const std::uint64_t n = 10;
+    std::vector<std::uint64_t> counts(n, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+      const std::uint64_t x = rng.bounded(n);
+      CHECK(x < n);
+      ++counts[x];
+    }
+    for (const auto count : counts) {
+      // Expected 10000 per cell; 5-sigma ~ 475.
+      CHECK(count > 9000 && count < 11000);
+    }
+    CHECK(rng.bounded(1) == 0);
+    CHECK(rng.bounded(0) == 0);
+  }
+
+  // next_double in [0, 1); bernoulli respects edge probabilities.
+  {
+    pcq::xoshiro256ss rng(43);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) {
+      const double u = rng.next_double();
+      CHECK(u >= 0.0 && u < 1.0);
+      hits += rng.bernoulli(0.25) ? 1 : 0;
+    }
+    CHECK(hits > 23000 && hits < 27000);
+    CHECK(rng.bernoulli(1.0));
+    CHECK(!rng.bernoulli(0.0));
+  }
+
+  // exponential(rate): positive with mean ~ 1/rate.
+  {
+    pcq::xoshiro256ss rng(44);
+    double sum = 0.0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+      const double x = rng.exponential(4.0);
+      CHECK(x > 0.0);
+      sum += x;
+    }
+    CHECK_NEAR(sum / draws, 0.25, 0.01);
+  }
+
+  // alias_table reproduces its weights.
+  {
+    const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+    pcq::alias_table table(weights);
+    pcq::xoshiro256ss rng(45);
+    std::vector<int> counts(weights.size(), 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) ++counts[table.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double expected = weights[i] / 10.0;
+      CHECK_NEAR(static_cast<double>(counts[i]) / draws, expected, 0.01);
+    }
+  }
+
+  std::printf("test_rng OK\n");
+  return 0;
+}

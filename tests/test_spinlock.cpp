@@ -1,0 +1,41 @@
+#include "util/spinlock.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "test_macros.hpp"
+
+int main() {
+  // try_lock semantics.
+  {
+    pcq::spinlock lock;
+    CHECK(lock.try_lock());
+    CHECK(!lock.try_lock());
+    lock.unlock();
+    CHECK(lock.try_lock());
+    lock.unlock();
+  }
+
+  // Mutual exclusion: unsynchronized counter guarded only by the lock.
+  {
+    pcq::spinlock lock;
+    long counter = 0;
+    const int threads = 4;
+    const int increments = 20000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int i = 0; i < increments; ++i) {
+          lock.lock();
+          ++counter;
+          lock.unlock();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    CHECK(counter == static_cast<long>(threads) * increments);
+  }
+
+  std::printf("test_spinlock OK\n");
+  return 0;
+}

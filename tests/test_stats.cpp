@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "test_macros.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  // running_stats against direct computation.
+  {
+    pcq::xoshiro256ss rng(7);
+    std::vector<double> xs;
+    pcq::running_stats stats;
+    for (int i = 0; i < 10000; ++i) {
+      const double x = rng.next_double() * 100.0 - 50.0;
+      xs.push_back(x);
+      stats.push(x);
+    }
+    double sum = 0.0, mn = xs[0], mx = xs[0];
+    for (const double x : xs) {
+      sum += x;
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    const double mean = sum / static_cast<double>(xs.size());
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - mean) * (x - mean);
+    const double var = ss / static_cast<double>(xs.size() - 1);
+
+    CHECK(stats.count() == xs.size());
+    CHECK_NEAR(stats.mean(), mean, 1e-9);
+    CHECK_NEAR(stats.min(), mn, 0.0);
+    CHECK_NEAR(stats.max(), mx, 0.0);
+    CHECK_NEAR(stats.variance(), var, 1e-6);
+  }
+
+  // Empty accumulator is well-defined.
+  {
+    pcq::running_stats stats;
+    CHECK(stats.count() == 0);
+    CHECK(stats.mean() == 0.0);
+    CHECK(stats.max() == 0.0);
+  }
+
+  // merge == pushing everything into one accumulator.
+  {
+    pcq::xoshiro256ss rng(8);
+    pcq::running_stats a, b, whole;
+    for (int i = 0; i < 5000; ++i) {
+      const double x = rng.next_double();
+      (i % 2 ? a : b).push(x);
+      whole.push(x);
+    }
+    a.merge(b);
+    CHECK(a.count() == whole.count());
+    CHECK_NEAR(a.mean(), whole.mean(), 1e-12);
+    CHECK_NEAR(a.variance(), whole.variance(), 1e-9);
+    CHECK_NEAR(a.max(), whole.max(), 0.0);
+  }
+
+  // percentile on a known vector.
+  {
+    const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    CHECK_NEAR(pcq::percentile(v, 0.0), 1.0, 0.0);
+    CHECK_NEAR(pcq::percentile(v, 1.0), 5.0, 0.0);
+    CHECK_NEAR(pcq::percentile(v, 0.5), 3.0, 0.0);
+    CHECK_NEAR(pcq::percentile(v, 0.25), 2.0, 1e-12);
+    CHECK_NEAR(pcq::percentile(v, 0.625), 3.5, 1e-12);
+    CHECK_NEAR(pcq::percentile({}, 0.5), 0.0, 0.0);
+    CHECK_NEAR(pcq::percentile({7.0}, 0.3), 7.0, 0.0);
+  }
+
+  std::printf("test_stats OK\n");
+  return 0;
+}
