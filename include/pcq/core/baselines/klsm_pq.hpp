@@ -1,0 +1,310 @@
+// k-LSM-style relaxed priority queue (after Wimmer, Gruber, Träff,
+// Tsigas, PPoPP 2015) — Figure 1's deterministic-relaxation competitor.
+//
+// Each handle owns a thread-local log-structured merge component: sorted
+// blocks whose sizes follow the power-of-two LSM invariant (pushing a
+// 1-element block and merging equal-sized neighbors), holding at most
+// `k` elements. Local operations touch no shared state at all — the
+// source of k-LSM's scalability — and once the local component exceeds k
+// it is flushed wholesale into a shared component as one sorted block.
+//
+// The shared component is an array of slots, each a sorted block behind a
+// spinlock with its minimum published in an atomic top cell (the "shared
+// relaxed top"). deleteMin compares the local minimum against a lock-free
+// scan of all published tops and takes the smaller side; the shared pop
+// locks only the winning slot. Relaxation therefore comes from the
+// invisibility of other threads' local components (at most k elements
+// each, so a deleteMin returns one of the smallest ~k·P + 1 keys) plus
+// transient staleness of the scanned tops.
+//
+// Handles are move-only and flush their local component to the shared
+// one on destruction, so elements never die with a thread and a fresh
+// handle can always drain the queue completely.
+//
+// std::numeric_limits<Key>::max() is reserved as the empty-top sentinel
+// (the repo-wide convention; never insert it).
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/striped_counter.hpp"
+
+namespace pcq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class klsm_pq {
+ public:
+  using entry = std::pair<Key, Value>;
+
+  explicit klsm_pq(std::size_t relaxation = 256)
+      : k_(relaxation > 0 ? relaxation : 1) {}
+
+  std::size_t relaxation() const { return k_; }
+  std::size_t num_queues() const { return kSlots; }
+
+  /// Live elements across all local components and shared slots, summed
+  /// over striped counters. Approximate under concurrency, exact when
+  /// quiescent.
+  std::size_t size() const { return count_.sum_clamped(); }
+
+  class handle {
+   public:
+    handle(handle&& other) noexcept
+        : queue_(other.queue_),
+          stripe_(other.stripe_),
+          rng_(other.rng_),
+          local_count_(other.local_count_),
+          blocks_(std::move(other.blocks_)) {
+      other.queue_ = nullptr;
+    }
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    handle& operator=(handle&&) = delete;
+
+    ~handle() {
+      if (queue_ != nullptr && local_count_ > 0) flush_local();
+    }
+
+    void push(const Key& key, const Value& value) {
+      blocks_.emplace_back();
+      blocks_.back().emplace_back(key, value);
+      // LSM invariant: merge equal-sized neighbors so block sizes stay
+      // powers of two and insertion is O(log k) amortized.
+      while (blocks_.size() >= 2 &&
+             blocks_[blocks_.size() - 2].size() <= blocks_.back().size()) {
+        std::vector<entry> merged = merge_desc(
+            queue_->compare_, blocks_[blocks_.size() - 2], blocks_.back());
+        blocks_.pop_back();
+        blocks_.back() = std::move(merged);
+      }
+      ++local_count_;
+      queue_->note(stripe_, +1);
+      if (local_count_ > queue_->k_) flush_local();
+    }
+
+    std::uint64_t push_timed(const Key& key, const Value& value) {
+      push(key, value);
+      return queue_->tick();
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      klsm_pq* q = queue_;
+      const Compare& compare = q->compare_;
+      for (unsigned attempt = 0;; ++attempt) {
+        const int local = local_min_block();
+        // Lock-free scan of the shared relaxed top.
+        std::size_t best = kSlots;
+        Key best_key{};
+        for (std::size_t i = 0; i < kSlots; ++i) {
+          const Key top = q->slots_[i].top.load(std::memory_order_acquire);
+          if (top == empty_key()) continue;
+          if (best == kSlots || compare(top, best_key)) {
+            best = i;
+            best_key = top;
+          }
+        }
+        if (local >= 0) {
+          const Key local_key = blocks_[local].back().first;
+          // Take the local side when it wins the comparison — or after
+          // repeated shared-lock misses (bounded extra relaxation, keeps
+          // the pop wait-free against slot contention).
+          if (best == kSlots || !compare(best_key, local_key) ||
+              attempt >= 8) {
+            const entry e = pop_local(local);
+            key = e.first;
+            value = e.second;
+            return true;
+          }
+        }
+        if (best == kSlots) {
+          return false;  // relaxed: concurrent flushes may race
+        }
+        slot& s = q->slots_[best];
+        if (s.lock.try_lock()) {
+          if (!s.block.empty()) {
+            const entry e = s.block.back();
+            s.block.pop_back();
+            s.top.store(s.block.empty() ? empty_key() : s.block.back().first,
+                        std::memory_order_release);
+            s.lock.unlock();
+            q->note(stripe_, -1);
+            key = e.first;
+            value = e.second;
+            return true;
+          }
+          s.top.store(empty_key(), std::memory_order_release);
+          s.lock.unlock();
+        }
+      }
+    }
+
+    bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
+      if (!try_pop(key, value)) return false;
+      ts = queue_->tick();
+      return true;
+    }
+
+    /// Elements buffered locally (invisible to other handles); <= k.
+    std::size_t local_size() const { return local_count_; }
+
+   private:
+    friend class klsm_pq;
+    handle(klsm_pq* queue, std::size_t thread_id)
+        : queue_(queue),
+          stripe_(thread_id % kStripes),
+          rng_(derive_seed(kSeed, thread_id)) {}
+
+    int local_min_block() const {
+      const Compare& compare = queue_->compare_;
+      int best = -1;
+      for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        if (blocks_[b].empty()) continue;
+        if (best < 0 || compare(blocks_[b].back().first,
+                                blocks_[static_cast<std::size_t>(best)]
+                                    .back()
+                                    .first)) {
+          best = static_cast<int>(b);
+        }
+      }
+      return best;
+    }
+
+    entry pop_local(int block) {
+      auto& blk = blocks_[static_cast<std::size_t>(block)];
+      const entry e = blk.back();
+      blk.pop_back();
+      if (blk.empty()) {
+        blocks_.erase(blocks_.begin() + block);
+      }
+      --local_count_;
+      queue_->note(stripe_, -1);
+      return e;
+    }
+
+    void flush_local() {
+      const Compare& compare = queue_->compare_;
+      std::vector<entry> all;
+      all.reserve(local_count_);
+      for (auto& blk : blocks_) {
+        all.insert(all.end(), blk.begin(), blk.end());
+      }
+      blocks_.clear();
+      local_count_ = 0;
+      std::sort(all.begin(), all.end(),
+                [&compare](const entry& x, const entry& y) {
+                  return compare(y.first, x.first);  // descending
+                });
+      queue_->push_shared(rng_, std::move(all));
+    }
+
+    klsm_pq* queue_;
+    std::size_t stripe_;
+    xoshiro256ss rng_;  ///< flush-slot placement stream
+    std::size_t local_count_ = 0;
+    std::vector<std::vector<entry>> blocks_;
+  };
+
+  handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
+
+ private:
+  friend class handle;
+
+  static constexpr std::size_t kSlots = 64;
+  static constexpr std::size_t kStripes = 64;
+  static constexpr std::uint64_t kSeed = 0x6b6c736du;  // "klsm"
+
+  static constexpr Key empty_key() { return std::numeric_limits<Key>::max(); }
+
+  /// Merges two blocks sorted descending under `compare` (so back() is
+  /// the minimum); used for both local LSM merges and shared-slot
+  /// installs to keep their ordering semantics identical.
+  static std::vector<entry> merge_desc(const Compare& compare,
+                                       const std::vector<entry>& a,
+                                       const std::vector<entry>& b) {
+    std::vector<entry> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (compare(a[i].first, b[j].first)) {
+        out.push_back(b[j++]);
+      } else {
+        out.push_back(a[i++]);
+      }
+    }
+    while (i < a.size()) out.push_back(a[i++]);
+    while (j < b.size()) out.push_back(b[j++]);
+    return out;
+  }
+
+  struct alignas(64) slot {
+    spinlock lock;
+    std::atomic<Key> top{empty_key()};
+    std::vector<entry> block;  ///< sorted descending; back() is the minimum
+  };
+
+  void note(std::size_t stripe, std::int64_t delta) {
+    count_.add(stripe, delta);
+  }
+
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Installs a flushed block: prefer an uncontended empty slot, then any
+  /// uncontended slot (merging), then block on one slot for progress.
+  void push_shared(xoshiro256ss& rng, std::vector<entry>&& block) {
+    if (block.empty()) return;
+    const std::size_t start = rng.bounded(kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      slot& s = slots_[(start + i) % kSlots];
+      if (s.top.load(std::memory_order_acquire) != empty_key()) continue;
+      if (!s.lock.try_lock()) continue;
+      if (s.block.empty()) {
+        install(s, std::move(block));
+        s.lock.unlock();
+        return;
+      }
+      s.lock.unlock();
+    }
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      slot& s = slots_[(start + i) % kSlots];
+      if (!s.lock.try_lock()) continue;
+      install(s, std::move(block));
+      s.lock.unlock();
+      return;
+    }
+    slot& s = slots_[start];
+    s.lock.lock();
+    install(s, std::move(block));
+    s.lock.unlock();
+  }
+
+  /// Caller holds s.lock. Merges `block` into the slot and republishes
+  /// the slot minimum.
+  void install(slot& s, std::vector<entry>&& block) {
+    if (s.block.empty()) {
+      s.block = std::move(block);
+    } else {
+      s.block = merge_desc(compare_, s.block, block);
+    }
+    s.top.store(s.block.back().first, std::memory_order_release);
+  }
+
+  const std::size_t k_;
+  Compare compare_{};
+  slot slots_[kSlots];
+  striped_counter<kStripes> count_;
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace pcq

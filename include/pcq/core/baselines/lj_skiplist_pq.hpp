@@ -1,0 +1,79 @@
+// Lindén–Jonsson-style lock-free skiplist priority queue — Figure 1's
+// "linearizable skiplist" competitor. Strict semantics: deleteMin claims
+// the globally least live key (rank 0); the cost is that every deleteMin
+// serializes on the list front, which is why the paper's Figure 1 shows
+// it flattening as threads grow while MultiQueues keep scaling.
+//
+// All the algorithmic content — marked-prefix traversal, one-fetch_or
+// claims, batched head restructuring — lives in
+// core/detail/concurrent_skiplist.hpp; this wrapper adds the handle /
+// timed-API surface pq_bench_driver.hpp consumes. Timestamps are drawn
+// from a global atomic counter immediately after the claiming fetch_or /
+// linking CAS rather than inside a critical section (there is none), so
+// replayed ranks for this queue are near-exact, not exact; the fig1 bench
+// only uses the untimed path.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/detail/concurrent_skiplist.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class lj_skiplist_pq {
+ public:
+  lj_skiplist_pq() = default;
+
+  std::size_t num_queues() const { return 1; }
+  std::size_t size() const { return list_.size(); }
+
+  class handle {
+   public:
+    void push(const Key& key, const Value& value) {
+      queue_->list_.insert(rng_, key, value);
+    }
+
+    std::uint64_t push_timed(const Key& key, const Value& value) {
+      queue_->list_.insert(rng_, key, value);
+      return queue_->tick();
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      return queue_->list_.try_pop_front(key, value);
+    }
+
+    bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
+      if (!queue_->list_.try_pop_front(key, value)) return false;
+      ts = queue_->tick();
+      return true;
+    }
+
+   private:
+    friend class lj_skiplist_pq;
+    handle(lj_skiplist_pq* queue, std::size_t thread_id)
+        : queue_(queue), rng_(derive_seed(kSeed, thread_id)) {}
+
+    lj_skiplist_pq* queue_;
+    xoshiro256ss rng_;  ///< tower-height sampling stream
+  };
+
+  handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x6c6au;  // "lj"
+
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  detail::concurrent_skiplist<Key, Value, Compare> list_;
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace pcq

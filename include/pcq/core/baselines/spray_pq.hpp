@@ -1,0 +1,110 @@
+// SprayList-style relaxed priority queue (Alistarh, Kopinsky, Li, Shavit,
+// PPoPP 2015) — Figure 1's randomized-relaxation competitor and the
+// MultiQueue's closest ancestor: instead of choosing among queues, each
+// deleteMin "sprays" a random descent over one shared skiplist and claims
+// a node within the first O(p·polylog p) positions, so concurrent threads
+// mostly land on distinct nodes and avoid the front hot spot.
+//
+// Parameters follow the paper's shape for p threads:
+//   spray height  H = floor(log2 p) + 1
+//   jump length   uniform in [0, floor(log2 p) + 2] per level
+//   cleaner       with probability 1/p a deleteMin takes the exact front
+//                 element instead (collecting the marked prefix via the
+//                 substrate's batched restructure)
+// With p = 1 every pop is a cleaner pop, so the single-thread structure
+// degenerates to the exact Lindén–Jonsson queue — handy for tests.
+//
+// A spray that runs off the end of the list falls back to a front pop, so
+// emptiness detection matches try_pop_front's (relaxed under races).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/detail/concurrent_skiplist.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class spray_pq {
+ public:
+  explicit spray_pq(std::size_t num_threads)
+      : threads_(num_threads > 0 ? num_threads : 1),
+        spray_height_(floor_log2(threads_) + 1),
+        max_jump_(static_cast<std::uint64_t>(floor_log2(threads_)) + 2),
+        cleaner_prob_(1.0 / static_cast<double>(threads_)) {}
+
+  std::size_t num_queues() const { return 1; }
+  std::size_t size() const { return list_.size(); }
+  std::size_t spray_threads() const { return threads_; }
+  int spray_height() const { return spray_height_; }
+  std::uint64_t spray_max_jump() const { return max_jump_; }
+
+  class handle {
+   public:
+    void push(const Key& key, const Value& value) {
+      queue_->list_.insert(rng_, key, value);
+    }
+
+    std::uint64_t push_timed(const Key& key, const Value& value) {
+      queue_->list_.insert(rng_, key, value);
+      return queue_->tick();
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      spray_pq* q = queue_;
+      if (q->threads_ > 1 && !rng_.bernoulli(q->cleaner_prob_)) {
+        if (q->list_.try_pop_spray(rng_, q->spray_height_, q->max_jump_, key,
+                                   value)) {
+          return true;
+        }
+      }
+      return q->list_.try_pop_front(key, value);
+    }
+
+    bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
+      if (!try_pop(key, value)) return false;
+      ts = queue_->tick();
+      return true;
+    }
+
+   private:
+    friend class spray_pq;
+    handle(spray_pq* queue, std::size_t thread_id)
+        : queue_(queue), rng_(derive_seed(kSeed, thread_id)) {}
+
+    spray_pq* queue_;
+    xoshiro256ss rng_;  ///< spray walks, cleaner coin, tower heights
+  };
+
+  handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x73707261u;  // "spra"
+
+  static int floor_log2(std::size_t x) {
+    int log = 0;
+    while (x > 1) {
+      x >>= 1;
+      ++log;
+    }
+    return log;
+  }
+
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  detail::concurrent_skiplist<Key, Value, Compare> list_;
+  std::size_t threads_;
+  int spray_height_;
+  std::uint64_t max_jump_;
+  double cleaner_prob_;
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace pcq

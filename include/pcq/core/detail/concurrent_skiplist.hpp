@@ -1,0 +1,384 @@
+// Lock-free skiplist substrate shared by the Lindén–Jonsson-style and
+// SprayList-style baseline priority queues (core/baselines/).
+//
+// Design, after Lindén & Jonsson (OPODIS 2013):
+//
+//   - Nodes are key-ordered at level 0; upper levels are hints. A node is
+//     logically deleted by setting the mark bit (LSB) of its *own* level-0
+//     next pointer with a single fetch_or — the deleteMin linearization
+//     point. Once marked, a node's level-0 next pointer is immutable
+//     (every CAS expects an unmarked value), so the chain of deleted nodes
+//     at the front of the list is frozen.
+//   - try_pop_front traverses the deleted prefix read-only and claims the
+//     first live node with one fetch_or. Physical unlinking is batched:
+//     only when the observed prefix exceeds kPrefixBound does the claiming
+//     thread swing the head pointers past it (restructure), so the common
+//     deleteMin issues one atomic write instead of a CAS per level.
+//   - Inserts splice over marked nodes they walk past at level 0 (helping
+//     physical deletion), which also handles inserting a new minimum into
+//     the dead prefix.
+//   - try_pop_spray implements the SprayList descent: a random walk of
+//     bounded jumps per level that lands O(polylog) positions from the
+//     front, then claims the first live node from there. Sprays never
+//     restructure; spray_pq mixes in cleaner (front) pops for that.
+//
+// Memory reclamation is deferred: nodes are threaded onto striped
+// allocation lists at creation and freed only by the destructor. This
+// keeps traversals safe without hazard pointers or epochs (unlinked nodes
+// stay readable and their frozen pointers still lead back into the list)
+// and makes the bottom-level CAS ABA-free, at the cost of memory growing
+// with the total insert count for the queue's lifetime — the right trade
+// for bench-lifetime baseline queues.
+//
+// Key and Value must be trivially copyable and trivially destructible
+// (nodes are raw storage, and keys/values are read after a claim without
+// further synchronization beyond the pointer acquire).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <type_traits>
+
+#include "util/rng.hpp"
+#include "util/striped_counter.hpp"
+
+namespace pcq {
+namespace detail {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class concurrent_skiplist {
+  static_assert(std::is_trivially_copyable<Key>::value &&
+                    std::is_trivially_destructible<Key>::value,
+                "concurrent_skiplist keys must be trivially copyable and "
+                "destructible");
+  static_assert(std::is_trivially_copyable<Value>::value &&
+                    std::is_trivially_destructible<Value>::value,
+                "concurrent_skiplist values must be trivially copyable and "
+                "destructible");
+
+ public:
+  /// Tallest tower: supports ~2^24 elements at the classic p = 1/2
+  /// level-promotion rate.
+  static constexpr int kMaxHeight = 24;
+  /// Marked-prefix length that triggers a head restructure.
+  static constexpr std::size_t kPrefixBound = 128;
+
+  concurrent_skiplist() : head_(make_node(kMaxHeight, Key{}, Value{})) {}
+
+  concurrent_skiplist(const concurrent_skiplist&) = delete;
+  concurrent_skiplist& operator=(const concurrent_skiplist&) = delete;
+
+  ~concurrent_skiplist() {
+    for (auto& stripe : stripes_) {
+      node* cur = stripe.allocated.load(std::memory_order_relaxed);
+      while (cur != nullptr) {
+        node* next = cur->alloc_next;
+        ::operator delete(cur);
+        cur = next;
+      }
+    }
+    ::operator delete(head_);
+  }
+
+  /// Live elements (inserted minus claimed), summed over striped counters.
+  /// Approximate under concurrency, exact when quiescent.
+  std::size_t size() const { return count_.sum_clamped(); }
+
+  void insert(xoshiro256ss& rng, const Key& key, const Value& value) {
+    const int height = sample_height(rng());
+    node* n = make_node(height, key, value);
+    track(n);
+
+    node* preds[kMaxHeight];
+    while (true) {
+      locate_preds(key, preds);
+      node* pred = preds[0];
+      std::uintptr_t pred_next = pred->tower()[0].load(std::memory_order_acquire);
+      if (is_marked(pred_next)) {
+        // The located predecessor died under us. The head never dies, and
+        // after a restructure the dead prefix is short, so restart the
+        // level-0 walk from it.
+        pred = head_;
+        pred_next = pred->tower()[0].load(std::memory_order_acquire);
+      }
+      // Walk to the splice point, physically unlinking every dead run on
+      // the way (Harris-style helping). Without this, nodes claimed
+      // off-front (sprays) accumulate between live nodes faster than the
+      // head-anchored prefix collection can remove them, and every walk
+      // through the front region degrades linearly in the op count.
+      bool restart = false;
+      while (true) {
+        node* cur = ptr_of(pred_next);
+        if (cur == nullptr) break;  // succ is end-of-list
+        const std::uintptr_t cur_next =
+            cur->tower()[0].load(std::memory_order_acquire);
+        if (is_marked(cur_next)) {
+          node* run_end = ptr_of(cur_next);
+          while (run_end != nullptr) {
+            const std::uintptr_t run_next =
+                run_end->tower()[0].load(std::memory_order_acquire);
+            if (!is_marked(run_next)) break;
+            run_end = ptr_of(run_next);
+          }
+          if (!pred->tower()[0].compare_exchange_strong(
+                  pred_next, tag_of(run_end), std::memory_order_release,
+                  std::memory_order_relaxed)) {
+            restart = true;
+            break;
+          }
+          pred_next = tag_of(run_end);
+          continue;
+        }
+        if (!compare_(cur->key, key)) break;  // succ is cur (live)
+        pred = cur;
+        pred_next = cur_next;
+      }
+      if (restart) continue;
+      n->tower()[0].store(pred_next, std::memory_order_relaxed);
+      if (pred->tower()[0].compare_exchange_strong(pred_next, tag_of(n),
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    note(n, +1);
+
+    // Link the upper levels best-effort; they are search hints, level 0 is
+    // the truth. Stop if the node has already been claimed.
+    for (int lvl = 1; lvl < height; ++lvl) {
+      node* pred = preds[lvl];
+      while (true) {
+        if (is_marked(n->tower()[0].load(std::memory_order_acquire))) return;
+        std::uintptr_t succ_t = pred->tower()[lvl].load(std::memory_order_acquire);
+        node* succ = ptr_of(succ_t);
+        while (succ != nullptr && compare_(succ->key, key)) {
+          pred = succ;
+          succ_t = pred->tower()[lvl].load(std::memory_order_acquire);
+          succ = ptr_of(succ_t);
+        }
+        n->tower()[lvl].store(succ_t, std::memory_order_relaxed);
+        if (pred->tower()[lvl].compare_exchange_strong(
+                succ_t, tag_of(n), std::memory_order_release,
+                std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }
+  }
+
+  /// Lindén–Jonsson deleteMin: walk the frozen marked prefix read-only,
+  /// claim the first live node with one fetch_or, batch physical cleanup.
+  /// Returns false when the traversal reaches the end of the list
+  /// (relaxed: concurrent inserts may race with the emptiness verdict).
+  bool try_pop_front(Key& key, Value& value) {
+    const std::uintptr_t observed =
+        head_->tower()[0].load(std::memory_order_acquire);
+    node* cur = ptr_of(observed);
+    std::size_t offset = 0;
+    while (cur != nullptr) {
+      std::uintptr_t next = cur->tower()[0].load(std::memory_order_acquire);
+      if (!is_marked(next)) {
+        next = cur->tower()[0].fetch_or(1, std::memory_order_acq_rel);
+        if (!is_marked(next)) {
+          key = cur->key;
+          value = cur->value;
+          note(cur, -1);
+          if (offset + 1 >= kPrefixBound) collect_prefix();
+          return true;
+        }
+      }
+      ++offset;
+      cur = ptr_of(next);
+    }
+    return false;
+  }
+
+  /// SprayList descent: from `start_height`, walk a uniform number of
+  /// steps in [0, max_jump] per level, descend, then claim the first live
+  /// node at or after the landing point. Returns false if the spray ran
+  /// off the end of the list (caller retries or cleans from the front).
+  bool try_pop_spray(xoshiro256ss& rng, int start_height,
+                     std::uint64_t max_jump, Key& key, Value& value) {
+    node* cur = head_;
+    const int top = start_height < kMaxHeight - 1 ? start_height : kMaxHeight - 1;
+    for (int lvl = top; lvl >= 0; --lvl) {
+      std::uint64_t jump = rng.bounded(max_jump + 1);
+      while (jump-- > 0) {
+        node* next = ptr_of(cur->tower()[lvl].load(std::memory_order_acquire));
+        if (next == nullptr) break;
+        cur = next;
+      }
+    }
+    if (cur == head_) {
+      cur = ptr_of(head_->tower()[0].load(std::memory_order_acquire));
+    }
+    while (cur != nullptr) {
+      std::uintptr_t next = cur->tower()[0].load(std::memory_order_acquire);
+      if (!is_marked(next)) {
+        next = cur->tower()[0].fetch_or(1, std::memory_order_acq_rel);
+        if (!is_marked(next)) {
+          key = cur->key;
+          value = cur->value;
+          note(cur, -1);
+          return true;
+        }
+      }
+      cur = ptr_of(next);
+    }
+    return false;
+  }
+
+ private:
+  struct node {
+    Key key;
+    Value value;
+    int height;
+    node* alloc_next;  ///< striped all-allocations list, freed at destruction
+    // Tower of tagged pointers (LSB = logically-deleted mark, level 0
+    // only). Trailing-array idiom: make_node() allocates `height` slots.
+    std::atomic<std::uintptr_t> next_[1];
+
+    std::atomic<std::uintptr_t>* tower() { return next_; }
+  };
+
+  struct alignas(64) stripe_t {
+    std::atomic<node*> allocated{nullptr};
+  };
+  static constexpr std::size_t kStripes = 64;
+
+  static node* ptr_of(std::uintptr_t tagged) {
+    return reinterpret_cast<node*>(tagged & ~static_cast<std::uintptr_t>(1));
+  }
+  static bool is_marked(std::uintptr_t tagged) { return (tagged & 1) != 0; }
+  static std::uintptr_t tag_of(node* p) {
+    return reinterpret_cast<std::uintptr_t>(p);
+  }
+
+  static int sample_height(std::uint64_t bits) {
+    int height = 1;
+    while ((bits & 1) != 0 && height < kMaxHeight) {
+      ++height;
+      bits >>= 1;
+    }
+    return height;
+  }
+
+  static node* make_node(int height, const Key& key, const Value& value) {
+    const std::size_t bytes =
+        sizeof(node) +
+        static_cast<std::size_t>(height - 1) * sizeof(std::atomic<std::uintptr_t>);
+    node* n = static_cast<node*>(::operator new(bytes));
+    n->key = key;
+    n->value = value;
+    n->height = height;
+    n->alloc_next = nullptr;
+    for (int i = 0; i < height; ++i) {
+      new (&n->tower()[i]) std::atomic<std::uintptr_t>(0);
+    }
+    return n;
+  }
+
+  std::size_t stripe_of(const node* n) const {
+    return (reinterpret_cast<std::uintptr_t>(n) >> 6) & (kStripes - 1);
+  }
+
+  void track(node* n) {
+    auto& list = stripes_[stripe_of(n)].allocated;
+    node* old = list.load(std::memory_order_relaxed);
+    do {
+      n->alloc_next = old;
+    } while (!list.compare_exchange_weak(old, n, std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  void note(const node* n, std::int64_t delta) {
+    count_.add(stripe_of(n), delta);
+  }
+
+  /// Fills preds[lvl] = last node with key < `key` seen at each level.
+  /// Preds may be logically deleted; callers validate before CASing.
+  ///
+  /// Upper-level hygiene: dead nodes encountered at levels >= 1 are
+  /// unlinked in passing (their upper pointers are hints, not truth, so a
+  /// stale-successor race at worst drops a hint). Without this the upper
+  /// lists rot into chains of long-dead towers — level-0 helping keeps the
+  /// visible prefix short, so offset-triggered collection rarely fires,
+  /// and descents (sprays especially) would walk an ever-growing frozen
+  /// graveyard before rejoining the live list.
+  void locate_preds(const Key& key, node** preds) {
+    node* pred = head_;
+    for (int lvl = kMaxHeight - 1; lvl >= 0; --lvl) {
+      while (true) {
+        std::uintptr_t cur_t = pred->tower()[lvl].load(std::memory_order_acquire);
+        node* cur = ptr_of(cur_t);
+        if (cur == nullptr) break;
+        if (lvl > 0 &&
+            is_marked(cur->tower()[0].load(std::memory_order_acquire))) {
+          const std::uintptr_t cur_next =
+              cur->tower()[lvl].load(std::memory_order_acquire);
+          pred->tower()[lvl].compare_exchange_strong(
+              cur_t, cur_next, std::memory_order_release,
+              std::memory_order_relaxed);
+          continue;  // re-read pred's pointer either way
+        }
+        if (!compare_(cur->key, key)) break;
+        pred = cur;
+      }
+      preds[lvl] = pred;
+    }
+  }
+
+  /// Batched physical deletion: swing the head's pointers past the
+  /// currently-marked prefix. The prefix chain is frozen (every node in it
+  /// is marked, so its level-0 pointers are immutable), which means a CAS
+  /// anchored on a fresh read of head->next[0] can only ever unlink dead
+  /// nodes. The level-0 cut retries with re-reads a few times: under front
+  /// churn (inserts of new minima, concurrent claims) a one-shot CAS
+  /// nearly always loses and the prefix would grow without bound. Upper
+  /// levels go first so searches keep descending into a valid region.
+  void collect_prefix() {
+    for (int lvl = kMaxHeight - 1; lvl >= 1; --lvl) {
+      std::uintptr_t h = head_->tower()[lvl].load(std::memory_order_acquire);
+      node* cur = ptr_of(h);
+      while (cur != nullptr &&
+             is_marked(cur->tower()[0].load(std::memory_order_acquire))) {
+        cur = ptr_of(cur->tower()[lvl].load(std::memory_order_acquire));
+      }
+      if (tag_of(cur) != h) {
+        head_->tower()[lvl].compare_exchange_strong(
+            h, tag_of(cur), std::memory_order_release,
+            std::memory_order_relaxed);
+      }
+    }
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      std::uintptr_t first = head_->tower()[0].load(std::memory_order_acquire);
+      node* cur = ptr_of(first);
+      std::size_t walked = 0;
+      while (cur != nullptr && walked < 8 * kPrefixBound) {
+        const std::uintptr_t next =
+            cur->tower()[0].load(std::memory_order_acquire);
+        if (!is_marked(next)) break;
+        cur = ptr_of(next);
+        ++walked;
+      }
+      if (walked == 0 ||
+          head_->tower()[0].compare_exchange_strong(
+              first, tag_of(cur), std::memory_order_release,
+              std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  Compare compare_{};
+  node* head_;
+  stripe_t stripes_[kStripes];
+  striped_counter<kStripes> count_;
+};
+
+}  // namespace detail
+}  // namespace pcq

@@ -83,9 +83,11 @@ class multi_queue {
 
   std::size_t num_queues() const { return num_queues_; }
 
-  /// Elements currently buffered, summed over queues. Approximate under
-  /// concurrency (each per-queue count is read atomically but the sum is
-  /// not a snapshot); exact when quiescent.
+  /// Elements currently buffered, summed over the published per-queue
+  /// atomic counts — O(#queues), no heap locks taken. Approximate under
+  /// concurrency (each count is read atomically but the sum is not a
+  /// snapshot); exact when quiescent. Regression-tested under concurrent
+  /// insert/delete in test_multi_queue.
   std::size_t size() const {
     std::size_t total = 0;
     for (std::size_t i = 0; i < num_queues_; ++i) {

@@ -1,0 +1,45 @@
+// Striped approximate counter for concurrent structures that publish a
+// size: writers fetch_add a delta on a caller-chosen stripe (pointer
+// hash, thread id, ...) so the hot paths never share a cache line;
+// readers sum all stripes. Individual stripes may go transiently
+// negative (an element inserted via one stripe and removed via another),
+// so the sum is signed and clamped at zero — approximate under
+// concurrency, exact when quiescent.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pcq {
+
+template <std::size_t Stripes = 64>
+class striped_counter {
+  static_assert(Stripes != 0 && (Stripes & (Stripes - 1)) == 0,
+                "stripe count must be a power of two");
+
+ public:
+  static constexpr std::size_t stripes() { return Stripes; }
+
+  void add(std::size_t stripe, std::int64_t delta) {
+    slots_[stripe & (Stripes - 1)].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::size_t sum_clamped() const {
+    std::int64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total > 0 ? static_cast<std::size_t>(total) : 0;
+  }
+
+ private:
+  struct alignas(64) slot_t {
+    std::atomic<std::int64_t> value{0};
+  };
+  slot_t slots_[Stripes];
+};
+
+}  // namespace pcq

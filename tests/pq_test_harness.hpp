@@ -1,0 +1,198 @@
+// Shared, structure-agnostic stress checks for every priority queue that
+// exposes the driver-facing handle API (core/multi_queue.hpp concept):
+//
+//   auto h = queue.get_handle(thread_id);
+//   h.push(key, value);  h.try_pop(key, value) -> bool;
+//   queue.size() -> approximate live count, exact when quiescent.
+//
+// Queues are built through a MakeQueue callable
+//   (std::size_t num_threads) -> std::unique_ptr<Queue>
+// so one suite covers exact queues (coarse, Lindén–Jonsson), randomized
+// relaxed ones (MultiQueue, SprayList), and deterministic relaxed ones
+// (k-LSM, whose handles buffer thread-locally and flush on destruction —
+// which is why workers always scope their handle inside the thread and
+// drains use a fresh handle after joining).
+//
+// Checks:
+//   element conservation — concurrent alternating push/pop plus a final
+//     drain recovers exactly the pushed multiset (count and checksum);
+//   no lost wakeups     — producers push a fixed total and exit; consumers
+//     retrying over transient false-empties collectively pop every element
+//     (termination is the assertion);
+//   monotone drain      — single-threaded fill then drain: always a
+//     permutation of the input with values attached, and globally sorted
+//     when the queue claims exact semantics.
+
+#pragma once
+
+#include <atomic>
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "test_macros.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+namespace testing {
+
+/// Concurrent alternating push/pop; afterwards a fresh handle drains the
+/// remainder. Pop count and key checksum must match the push side exactly,
+/// and a quiescent size() must agree at both ends.
+template <typename MakeQueue>
+void check_element_conservation(MakeQueue make, std::size_t threads,
+                                std::size_t pairs, std::uint64_t seed) {
+  auto queue = make(threads);
+  std::vector<std::uint64_t> pushed(threads, 0), popped(threads, 0);
+  std::vector<std::uint64_t> pops_ok(threads, 0);
+  {
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        auto handle = queue->get_handle(t);
+        xoshiro256ss rng(derive_seed(seed, t));
+        for (std::size_t i = 0; i < pairs; ++i) {
+          const std::uint64_t key = rng() >> 1;
+          pushed[t] += key;
+          handle.push(key, key);
+          std::uint64_t k = 0, v = 0;
+          if (handle.try_pop(k, v)) {
+            CHECK(k == v);
+            popped[t] += k;
+            ++pops_ok[t];
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  std::uint64_t pushed_sum = 0, popped_sum = 0, pop_count = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pushed_sum += pushed[t];
+    popped_sum += popped[t];
+    pop_count += pops_ok[t];
+  }
+  CHECK(queue->size() == threads * pairs - pop_count);
+  {
+    auto handle = queue->get_handle(threads);
+    std::uint64_t k = 0, v = 0;
+    while (handle.try_pop(k, v)) {
+      CHECK(k == v);
+      popped_sum += k;
+      ++pop_count;
+    }
+    CHECK(pop_count == threads * pairs);
+    CHECK(popped_sum == pushed_sum);
+  }
+  CHECK(queue->size() == 0);
+}
+
+/// Producers push a fixed total then exit (destroying their handles, so
+/// queues with thread-local buffering publish everything); consumers keep
+/// retrying until the collective pop count reaches the total. An element
+/// that became permanently invisible would hang this check — ctest's
+/// timeout is the failure detector, plus a final checksum comparison.
+template <typename MakeQueue>
+void check_no_lost_wakeups(MakeQueue make, std::size_t producers,
+                           std::size_t consumers,
+                           std::size_t items_per_producer,
+                           std::uint64_t seed) {
+  auto queue = make(producers + consumers);
+  const std::uint64_t total = producers * items_per_producer;
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<std::uint64_t> remaining{total};
+
+  std::vector<std::thread> pool;
+  for (std::size_t p = 0; p < producers; ++p) {
+    pool.emplace_back([&, p] {
+      auto handle = queue->get_handle(p);
+      xoshiro256ss rng(derive_seed(seed, p));
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < items_per_producer; ++i) {
+        const std::uint64_t key = rng() >> 1;
+        sum += key;
+        handle.push(key, key);
+      }
+      pushed_sum.fetch_add(sum, std::memory_order_relaxed);
+    });
+  }
+  for (std::size_t c = 0; c < consumers; ++c) {
+    pool.emplace_back([&, c] {
+      auto handle = queue->get_handle(producers + c);
+      std::uint64_t sum = 0;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        std::uint64_t k = 0, v = 0;
+        if (handle.try_pop(k, v)) {
+          CHECK(k == v);
+          sum += k;
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      popped_sum.fetch_add(sum, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  CHECK(remaining.load() == 0);
+  CHECK(popped_sum.load() == pushed_sum.load());
+  CHECK(queue->size() == 0);
+  auto handle = queue->get_handle(producers + consumers);
+  std::uint64_t k = 0, v = 0;
+  CHECK(!handle.try_pop(k, v));
+}
+
+/// Single-threaded fill then drain. The drain is always a value-preserving
+/// permutation of the input; with `exact` set it must also be globally
+/// sorted (strict deleteMin semantics).
+template <typename MakeQueue>
+void check_monotone_drain(MakeQueue make, std::size_t n, bool exact,
+                          std::uint64_t seed) {
+  auto queue = make(1);
+  auto handle = queue->get_handle(0);
+  xoshiro256ss rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = rng() >> 1;
+    keys.push_back(key);
+    handle.push(key, key ^ 0x5a5au);
+  }
+  CHECK(queue->size() == n);
+
+  std::vector<std::uint64_t> drained;
+  drained.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t k = 0, v = 0;
+    CHECK(handle.try_pop(k, v));
+    CHECK(v == (k ^ 0x5a5au));
+    if (exact && !drained.empty()) CHECK(k >= drained.back());
+    drained.push_back(k);
+  }
+  std::uint64_t k = 0, v = 0;
+  CHECK(!handle.try_pop(k, v));
+  CHECK(queue->size() == 0);
+
+  std::sort(keys.begin(), keys.end());
+  std::sort(drained.begin(), drained.end());
+  CHECK(keys == drained);
+}
+
+/// The full suite at TSan-friendly scales. `drain_exact` asserts sorted
+/// drains for queues that are strict (or degenerate to strict) when built
+/// for one thread and used from one thread.
+template <typename MakeQueue>
+void run_standard_suite(MakeQueue make, bool drain_exact,
+                        std::uint64_t seed = 0x5eedu) {
+  check_element_conservation(make, /*threads=*/4, /*pairs=*/8000, seed);
+  check_no_lost_wakeups(make, /*producers=*/2, /*consumers=*/2,
+                        /*items_per_producer=*/6000, seed + 1);
+  check_monotone_drain(make, /*n=*/4096, drain_exact, seed + 2);
+}
+
+}  // namespace testing
+}  // namespace pcq

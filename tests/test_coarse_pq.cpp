@@ -1,15 +1,21 @@
 #include "core/baselines/coarse_pq.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "test_macros.hpp"
+#include "pq_test_harness.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using cpq = pcq::coarse_pq<std::uint64_t, std::uint64_t>;
+
+std::unique_ptr<cpq> make_coarse(std::size_t /*threads*/) {
+  return std::make_unique<cpq>();
+}
 
 }  // namespace
 
@@ -96,6 +102,10 @@ int main() {
     CHECK(pop_count == threads * pairs);
     CHECK(popped_sum == pushed_sum);
   }
+
+  // Shared harness: conservation, no-lost-wakeups, exact drain (the
+  // coarse heap is strict by construction).
+  pcq::testing::run_standard_suite(make_coarse, /*drain_exact=*/true);
 
   std::printf("test_coarse_pq OK\n");
   return 0;

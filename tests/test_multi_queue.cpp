@@ -2,16 +2,25 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "test_macros.hpp"
+#include "pq_test_harness.hpp"
 #include "core/rank_recorder.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using mq = pcq::multi_queue<std::uint64_t, std::uint64_t>;
+
+// Default config: at 1 thread this is 2 queues with two-choice, which is
+// an exact priority queue, so the harness drain check can assert order.
+std::unique_ptr<mq> make_mq(std::size_t threads) {
+  pcq::mq_config cfg;
+  return std::make_unique<mq>(cfg, threads);
+}
 
 }  // namespace
 
@@ -156,6 +165,57 @@ int main() {
     // queue count (generous bound — the run is randomized).
     CHECK(report.rank_stats.mean() < 50.0);
   }
+
+  // size() regression: the counter-sum implementation (O(#queues), no
+  // heap locks) must stay sane while insert/delete run concurrently and
+  // be exact at quiescence. Workers run net-zero push/pop pairs over a
+  // prefill, a monitor polls size() throughout.
+  {
+    pcq::mq_config cfg;
+    mq queue(cfg, 4);
+    const std::size_t threads = 4, prefill = 20000, pairs = 20000;
+    {
+      auto handle = queue.get_handle(0);
+      pcq::xoshiro256ss rng(123);
+      for (std::size_t i = 0; i < prefill; ++i) {
+        const std::uint64_t key = rng() >> 1;
+        handle.push(key, key);
+      }
+    }
+    CHECK(queue.size() == prefill);
+
+    std::atomic<bool> done{false};
+    std::thread monitor([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t s = queue.size();
+        CHECK(s <= prefill + threads * pairs);
+        CHECK(s >= prefill / 2);  // generous: sum is not a snapshot
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        auto handle = queue.get_handle(t);
+        pcq::xoshiro256ss rng(pcq::derive_seed(321, t));
+        for (std::size_t i = 0; i < pairs; ++i) {
+          const std::uint64_t key = rng() >> 1;
+          handle.push(key, key);
+          std::uint64_t k = 0, v = 0;
+          while (!handle.try_pop(k, v)) {
+          }  // queue holds ~prefill elements, so pops always succeed
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    done.store(true, std::memory_order_release);
+    monitor.join();
+    CHECK(queue.size() == prefill);  // quiescent exactness
+  }
+
+  // Shared harness: conservation, no-lost-wakeups, exact drain at the
+  // 1-thread degeneration.
+  pcq::testing::run_standard_suite(make_mq, /*drain_exact=*/true);
 
   std::printf("test_multi_queue OK\n");
   return 0;
