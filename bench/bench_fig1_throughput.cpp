@@ -1,11 +1,19 @@
 // FIG1 — reproduces Figure 1: throughput of alternating insert/deleteMin
 // vs thread count, for the (1+beta) priority queue (beta = 0.5, 0.75), the
 // original MultiQueue (beta = 1), the Lindén–Jonsson-style skiplist, the
-// k-LSM (k = 256), and a coarse-locked heap.
+// k-LSM (k = 256), a coarse-locked heap, and — beyond the paper — the
+// batched MultiQueue (push_batch + pop buffer, batch = 16), which
+// amortizes the per-element lock/publish cost.
 //
 // Paper shape to verify: MultiQueue variants scale near-linearly and the
 // beta < 1 variants beat beta = 1 by up to ~20%; LJ and kLSM flatten or
-// degrade with threads; coarse collapses.
+// degrade with threads; coarse collapses. The batched column should beat
+// the scalar beta = 1 column at every thread count.
+//
+// Besides the console table, the run emits BENCH_fig1.json (per-structure
+// Mops/s by thread count) — the repo's machine-readable perf trajectory.
+// CI uploads it as an artifact and fails on >30% multi_queue regressions
+// against the committed baseline (scripts/check_fig1_regression.py).
 //
 // Default parameters finish in seconds; PCQ_BENCH_FULL=1 uses a
 // 10M-element prefill (paper scale).
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "benchlib/bench_env.hpp"
+#include "benchlib/json_writer.hpp"
 #include "benchlib/pq_bench_driver.hpp"
 #include "benchlib/table_printer.hpp"
 #include "core/baselines/coarse_pq.hpp"
@@ -29,6 +38,8 @@ namespace {
 
 using namespace pcq;
 using namespace pcq::bench;
+
+constexpr std::size_t kFig1Batch = 16;
 
 template <typename Queue, typename Make>
 double measure(Make make, std::size_t threads, std::size_t prefill,
@@ -48,6 +59,26 @@ double measure(Make make, std::size_t threads, std::size_t prefill,
   return percentile(mops, 0.5);
 }
 
+double measure_batched(std::size_t threads, std::size_t prefill,
+                       std::size_t pairs, std::size_t batch) {
+  std::vector<double> mops;
+  for (unsigned trial = 0; trial < trials(); ++trial) {
+    mq_config qcfg;
+    qcfg.beta = 1.0;
+    qcfg.queue_factor = 2;
+    qcfg.pop_batch = batch;
+    multi_queue<std::uint64_t, std::uint64_t> queue(qcfg, threads);
+    workload_config cfg;
+    cfg.num_threads = threads;
+    cfg.prefill = prefill;
+    cfg.pairs_per_thread = pairs;
+    cfg.seed = 7 + trial;
+    const auto result = run_alternating_batched(queue, cfg, batch);
+    mops.push_back(result.mops_per_sec);
+  }
+  return percentile(mops, 0.5);
+}
+
 }  // namespace
 
 int main() {
@@ -60,8 +91,15 @@ int main() {
   std::printf("prefill=%zu pairs/thread=%zu (PCQ_BENCH_FULL=%d)\n", prefill,
               pairs, full_scale() ? 1 : 0);
 
-  table_printer table({"threads", "mq_b1.0", "mq_b0.75", "mq_b0.5",
-                       "lj_skiplist", "klsm256", "spraylist", "coarse"});
+  const std::vector<std::string> series_names{
+      "mq_b1.0",     "mq_b0.75", "mq_b0.5",   "mq_b1.0_batch16",
+      "lj_skiplist", "klsm256",  "spraylist", "coarse"};
+
+  table_printer table([&] {
+    std::vector<std::string> columns{"threads"};
+    columns.insert(columns.end(), series_names.begin(), series_names.end());
+    return columns;
+  }());
 
   std::vector<std::size_t> thread_counts;
   for (std::size_t t = 1; t <= max_threads(); t *= 2) {
@@ -78,31 +116,40 @@ int main() {
     };
   };
 
+  // series[s][i] = Mops/s of series_names[s] at thread_counts[i].
+  std::vector<std::vector<double>> series(series_names.size());
+
   for (const std::size_t t : thread_counts) {
     std::vector<double> row{static_cast<double>(t)};
-    row.push_back(measure<multi_queue<std::uint64_t, std::uint64_t>>(
+    std::size_t s = 0;
+    const auto record = [&](double mops) {
+      series[s++].push_back(mops);
+      row.push_back(mops);
+    };
+    record(measure<multi_queue<std::uint64_t, std::uint64_t>>(
         make_mq(1.0), t, prefill, pairs));
-    row.push_back(measure<multi_queue<std::uint64_t, std::uint64_t>>(
+    record(measure<multi_queue<std::uint64_t, std::uint64_t>>(
         make_mq(0.75), t, prefill, pairs));
-    row.push_back(measure<multi_queue<std::uint64_t, std::uint64_t>>(
+    record(measure<multi_queue<std::uint64_t, std::uint64_t>>(
         make_mq(0.5), t, prefill, pairs));
-    row.push_back(measure<lj_skiplist_pq<std::uint64_t, std::uint64_t>>(
+    record(measure_batched(t, prefill, pairs, kFig1Batch));
+    record(measure<lj_skiplist_pq<std::uint64_t, std::uint64_t>>(
         [](std::size_t) {
           return std::make_unique<lj_skiplist_pq<std::uint64_t, std::uint64_t>>();
         },
         t, prefill, pairs));
-    row.push_back(measure<klsm_pq<std::uint64_t, std::uint64_t>>(
+    record(measure<klsm_pq<std::uint64_t, std::uint64_t>>(
         [](std::size_t) {
           return std::make_unique<klsm_pq<std::uint64_t, std::uint64_t>>(256);
         },
         t, prefill, pairs));
-    row.push_back(measure<spray_pq<std::uint64_t, std::uint64_t>>(
+    record(measure<spray_pq<std::uint64_t, std::uint64_t>>(
         [](std::size_t threads) {
           return std::make_unique<spray_pq<std::uint64_t, std::uint64_t>>(
               threads);
         },
         t, prefill, pairs));
-    row.push_back(measure<coarse_pq<std::uint64_t, std::uint64_t>>(
+    record(measure<coarse_pq<std::uint64_t, std::uint64_t>>(
         [](std::size_t) {
           return std::make_unique<coarse_pq<std::uint64_t, std::uint64_t>>();
         },
@@ -110,9 +157,34 @@ int main() {
     table.row(row);
   }
 
+  const std::string json_path = json_artifact_path("BENCH_fig1.json");
+  json_writer json(json_path);
+  json.begin_object()
+      .kv("bench", "fig1_throughput")
+      .kv("unit", "mops_per_sec")
+      .kv("full_scale", full_scale())
+      .kv("prefill", prefill)
+      .kv("pairs_per_thread", pairs)
+      .kv("trials", static_cast<std::size_t>(trials()))
+      .kv("batch", kFig1Batch);
+  json.key("threads").begin_array();
+  for (const std::size_t t : thread_counts) json.value(t);
+  json.end_array();
+  json.key("series").begin_array();
+  for (std::size_t s = 0; s < series_names.size(); ++s) {
+    json.begin_object().kv("name", series_names[s]);
+    json.key("mops").begin_array();
+    for (const double m : series[s]) json.value(m);
+    json.end_array().end_object();
+  }
+  json.end_array().end_object();
+  std::printf("\n%s %s\n", json.ok() ? "wrote" : "FAILED to write",
+              json_path.c_str());
+
   std::printf(
-      "\nexpected shape (paper): MultiQueues scale; beta<1 up to ~20%% above "
-      "beta=1 at high threads;\nLJ flattens from deleteMin contention; kLSM "
-      "below MultiQueues; coarse collapses.\n");
+      "expected shape (paper): MultiQueues scale; beta<1 up to ~20%% above "
+      "beta=1 at high threads;\nbatch=16 above scalar beta=1 everywhere; LJ "
+      "flattens from deleteMin contention; kLSM\nbelow MultiQueues; coarse "
+      "collapses.\n");
   return 0;
 }

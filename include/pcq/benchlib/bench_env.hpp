@@ -34,6 +34,15 @@ T scaled(T small_value, T full_value) {
 /// Trials per measured cell (paper: 10; default keeps benches quick).
 inline unsigned trials() { return full_scale() ? 10u : 3u; }
 
+/// Where BENCH_*.json artifacts land: $PCQ_BENCH_JSON_DIR/<name>, or the
+/// working directory when unset.
+inline std::string json_artifact_path(const char* filename) {
+  if (const char* dir = std::getenv("PCQ_BENCH_JSON_DIR")) {
+    if (dir[0] != '\0') return std::string(dir) + "/" + filename;
+  }
+  return filename;
+}
+
 /// Largest thread count benches sweep to.
 inline std::size_t max_threads() {
   static const std::size_t cached = [] {

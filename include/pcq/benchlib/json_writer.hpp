@@ -1,0 +1,162 @@
+// Minimal streaming JSON writer for machine-readable bench artifacts
+// (BENCH_*.json): objects, arrays, strings, numbers, booleans, with
+// automatic comma placement. No dependencies, no DOM — benches emit their
+// results as they compute them and CI diffs / thresholds the files.
+//
+// Numbers are written with enough precision to round-trip throughput
+// figures; integral values print without an exponent so thread counts and
+// sizes stay greppable.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pcq {
+namespace bench {
+
+class json_writer {
+ public:
+  explicit json_writer(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+
+  json_writer(const json_writer&) = delete;
+  json_writer& operator=(const json_writer&) = delete;
+
+  ~json_writer() {
+    if (file_ != nullptr) {
+      std::fputc('\n', file_);
+      std::fclose(file_);
+    }
+  }
+
+  /// False if the output file could not be opened (bench still prints its
+  /// table; the artifact is just skipped).
+  bool ok() const { return file_ != nullptr; }
+
+  json_writer& begin_object() { return open('{'); }
+  json_writer& end_object() { return close('}'); }
+  json_writer& begin_array() { return open('['); }
+  json_writer& end_array() { return close(']'); }
+
+  /// Object key; must be followed by exactly one value or container.
+  json_writer& key(const char* k) {
+    comma();
+    write_string(k);
+    put(':');
+    pending_key_ = true;
+    return *this;
+  }
+
+  json_writer& value(const char* s) {
+    comma();
+    write_string(s);
+    return *this;
+  }
+  json_writer& value(const std::string& s) { return value(s.c_str()); }
+  json_writer& value(bool b) {
+    comma();
+    raw(b ? "true" : "false");
+    return *this;
+  }
+  json_writer& value(double v) {
+    comma();
+    char buffer[40];
+    if (std::isfinite(v) && v == std::nearbyint(v) && std::fabs(v) < 1e15) {
+      std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+    } else if (std::isfinite(v)) {
+      std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "null");  // JSON has no inf/nan
+    }
+    raw(buffer);
+    return *this;
+  }
+  // Both unsigned widths so std::size_t / std::uint64_t calls bind
+  // exactly on every platform (they alias different underlying types on
+  // LP64 Linux vs LLP64/macOS).
+  json_writer& value(unsigned long long v) {
+    comma();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%llu", v);
+    raw(buffer);
+    return *this;
+  }
+  json_writer& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  json_writer& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  json_writer& value(int v) { return value(static_cast<double>(v)); }
+
+  /// key + scalar in one call.
+  template <typename T>
+  json_writer& kv(const char* k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  json_writer& open(char c) {
+    comma();
+    put(c);
+    first_.push_back(true);
+    return *this;
+  }
+  json_writer& close(char c) {
+    if (!first_.empty()) first_.pop_back();
+    put(c);
+    return *this;
+  }
+
+  /// Emits the separating comma unless this value consumes a just-written
+  /// key or opens the container's first element.
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      put(',');
+    }
+  }
+
+  void write_string(const char* s) {
+    put('"');
+    for (const char* p = s; *p != '\0'; ++p) {
+      const char c = *p;
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        raw(buffer);
+      } else {
+        put(c);
+      }
+    }
+    put('"');
+  }
+
+  void put(char c) {
+    if (file_ != nullptr) std::fputc(c, file_);
+  }
+  void raw(const char* s) {
+    if (file_ != nullptr) std::fputs(s, file_);
+  }
+
+  std::FILE* file_;
+  std::vector<bool> first_;  ///< per open container: no element written yet
+  bool pending_key_ = false;
+};
+
+}  // namespace bench
+}  // namespace pcq

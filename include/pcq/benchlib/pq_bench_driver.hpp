@@ -155,6 +155,89 @@ run_result run_alternating(Queue& queue, const workload_config& config) {
   return result;
 }
 
+/// Batched variant of run_alternating for queues exposing the batch API
+/// (core/multi_queue.hpp): each round pushes `batch` keys with one
+/// push_batch and then pops `batch` elements with try_pop — configure the
+/// queue with mq_config::pop_batch = batch so pops refill through the
+/// per-handle buffer and both hot paths run amortized. Untimed only (the
+/// timed API deliberately bypasses the pop buffer). pairs_per_thread is
+/// rounded down to a whole number of rounds so throughput numbers stay
+/// per-element comparable with the scalar driver.
+template <typename Queue>
+run_result run_alternating_batched(Queue& queue,
+                                   const workload_config& config,
+                                   std::size_t batch) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t threads = config.num_threads ? config.num_threads : 1;
+  const std::size_t b = batch ? batch : 1;
+  const std::size_t rounds = config.pairs_per_thread / b;
+
+  detail::spin_barrier barrier(threads);
+  std::vector<clock::time_point> starts(threads), ends(threads);
+  std::vector<std::uint64_t> failed(threads, 0);
+
+  auto worker = [&](std::size_t tid) {
+    auto handle = queue.get_handle(tid);
+    xoshiro256ss keys(derive_seed(config.seed, 0x9000 + tid));
+    const auto next_key = [&keys] { return keys() >> 1; };
+    std::vector<typename Queue::entry> block(b);
+
+    std::size_t my_prefill = config.prefill / threads;
+    if (tid < config.prefill % threads) ++my_prefill;
+    while (my_prefill > 0) {
+      const std::size_t n = my_prefill < b ? my_prefill : b;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key = next_key();
+        block[i] = {key, key};
+      }
+      handle.push_batch(block.data(), n);
+      my_prefill -= n;
+    }
+
+    barrier.arrive_and_wait();
+    starts[tid] = clock::now();
+
+    std::uint64_t my_failed = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < b; ++i) {
+        const std::uint64_t key = next_key();
+        block[i] = {key, key};
+      }
+      handle.push_batch(block.data(), b);
+      for (std::size_t i = 0; i < b; ++i) {
+        std::uint64_t popped_key = 0, popped_value = 0;
+        if (!handle.try_pop(popped_key, popped_value)) ++my_failed;
+      }
+    }
+    ends[tid] = clock::now();
+    failed[tid] = my_failed;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (auto& t : pool) t.join();
+
+  auto first_start = starts[0];
+  auto last_end = ends[0];
+  run_result result;
+  for (std::size_t t = 0; t < threads; ++t) {
+    if (starts[t] < first_start) first_start = starts[t];
+    if (ends[t] > last_end) last_end = ends[t];
+    result.failed_pops += failed[t];
+  }
+  result.seconds =
+      std::chrono::duration<double>(last_end - first_start).count();
+  result.total_ops =
+      2 * static_cast<std::uint64_t>(rounds) * b * threads;
+  result.mops_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.total_ops) / result.seconds / 1e6
+          : 0.0;
+  return result;
+}
+
 /// Exact rank statistics from the timed event logs (see rank_recorder.hpp).
 inline replay_report analyze_logs(const std::vector<event_log>& logs) {
   return replay_ranks(logs);

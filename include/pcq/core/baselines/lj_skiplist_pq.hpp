@@ -5,13 +5,17 @@
 // it flattening as threads grow while MultiQueues keep scaling.
 //
 // All the algorithmic content — marked-prefix traversal, one-fetch_or
-// claims, batched head restructuring — lives in
-// core/detail/concurrent_skiplist.hpp; this wrapper adds the handle /
-// timed-API surface pq_bench_driver.hpp consumes. Timestamps are drawn
-// from a global atomic counter immediately after the claiming fetch_or /
-// linking CAS rather than inside a critical section (there is none), so
-// replayed ranks for this queue are near-exact, not exact; the fig1 bench
-// only uses the untimed path.
+// claims, batched head restructuring, policy-selected memory reclamation
+// — lives in core/detail/concurrent_skiplist.hpp; this wrapper adds the
+// handle / timed-API surface pq_bench_driver.hpp consumes. The default
+// reclaim_ebr policy frees retired towers during operation (long-lived
+// queues stay O(live + threads * limbo) instead of growing with the total
+// insert count); instantiate with reclaim_deferred for the
+// free-at-destruction behavior. Timestamps are drawn from a global atomic
+// counter immediately after the claiming fetch_or / linking CAS rather
+// than inside a critical section (there is none), so replayed ranks for
+// this queue are near-exact, not exact; the fig1 bench only uses the
+// untimed path.
 
 #pragma once
 
@@ -25,31 +29,38 @@
 
 namespace pcq {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Reclaim = reclaim_ebr>
 class lj_skiplist_pq {
+  using list_type = detail::concurrent_skiplist<Key, Value, Compare, Reclaim>;
+
  public:
   lj_skiplist_pq() = default;
 
   std::size_t num_queues() const { return 1; }
   std::size_t size() const { return list_.size(); }
+  /// Unfreed node count / grace-period backlog (quiescent-only accuracy);
+  /// see concurrent_skiplist.
+  std::size_t allocated_nodes() const { return list_.allocated_nodes(); }
+  std::size_t limbo_nodes() const { return list_.limbo_nodes(); }
 
   class handle {
    public:
     void push(const Key& key, const Value& value) {
-      queue_->list_.insert(rng_, key, value);
+      queue_->list_.insert(rh_, rng_, key, value);
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
-      queue_->list_.insert(rng_, key, value);
+      queue_->list_.insert(rh_, rng_, key, value);
       return queue_->tick();
     }
 
     bool try_pop(Key& key, Value& value) {
-      return queue_->list_.try_pop_front(key, value);
+      return queue_->list_.try_pop_front(rh_, key, value);
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
-      if (!queue_->list_.try_pop_front(key, value)) return false;
+      if (!queue_->list_.try_pop_front(rh_, key, value)) return false;
       ts = queue_->tick();
       return true;
     }
@@ -57,10 +68,13 @@ class lj_skiplist_pq {
    private:
     friend class lj_skiplist_pq;
     handle(lj_skiplist_pq* queue, std::size_t thread_id)
-        : queue_(queue), rng_(derive_seed(kSeed, thread_id)) {}
+        : queue_(queue),
+          rng_(derive_seed(kSeed, thread_id)),
+          rh_(queue->list_.get_reclaim_handle()) {}
 
     lj_skiplist_pq* queue_;
     xoshiro256ss rng_;  ///< tower-height sampling stream
+    typename list_type::reclaim_handle rh_;
   };
 
   handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
@@ -72,7 +86,7 @@ class lj_skiplist_pq {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  detail::concurrent_skiplist<Key, Value, Compare> list_;
+  list_type list_;
   std::atomic<std::uint64_t> clock_{0};
 };
 

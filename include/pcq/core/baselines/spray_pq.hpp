@@ -16,6 +16,10 @@
 //
 // A spray that runs off the end of the list falls back to a front pop, so
 // emptiness detection matches try_pop_front's (relaxed under races).
+//
+// Reclamation is policy-selected in the substrate: the default
+// reclaim_ebr frees sprayed-out towers during operation once an insert's
+// helping unlink or a cleaner's restructure detaches them.
 
 #pragma once
 
@@ -29,8 +33,11 @@
 
 namespace pcq {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Reclaim = reclaim_ebr>
 class spray_pq {
+  using list_type = detail::concurrent_skiplist<Key, Value, Compare, Reclaim>;
+
  public:
   explicit spray_pq(std::size_t num_threads)
       : threads_(num_threads > 0 ? num_threads : 1),
@@ -43,27 +50,31 @@ class spray_pq {
   std::size_t spray_threads() const { return threads_; }
   int spray_height() const { return spray_height_; }
   std::uint64_t spray_max_jump() const { return max_jump_; }
+  /// Unfreed node count / grace-period backlog (quiescent-only accuracy);
+  /// see concurrent_skiplist.
+  std::size_t allocated_nodes() const { return list_.allocated_nodes(); }
+  std::size_t limbo_nodes() const { return list_.limbo_nodes(); }
 
   class handle {
    public:
     void push(const Key& key, const Value& value) {
-      queue_->list_.insert(rng_, key, value);
+      queue_->list_.insert(rh_, rng_, key, value);
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
-      queue_->list_.insert(rng_, key, value);
+      queue_->list_.insert(rh_, rng_, key, value);
       return queue_->tick();
     }
 
     bool try_pop(Key& key, Value& value) {
       spray_pq* q = queue_;
       if (q->threads_ > 1 && !rng_.bernoulli(q->cleaner_prob_)) {
-        if (q->list_.try_pop_spray(rng_, q->spray_height_, q->max_jump_, key,
-                                   value)) {
+        if (q->list_.try_pop_spray(rh_, rng_, q->spray_height_, q->max_jump_,
+                                   key, value)) {
           return true;
         }
       }
-      return q->list_.try_pop_front(key, value);
+      return q->list_.try_pop_front(rh_, key, value);
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
@@ -75,10 +86,13 @@ class spray_pq {
    private:
     friend class spray_pq;
     handle(spray_pq* queue, std::size_t thread_id)
-        : queue_(queue), rng_(derive_seed(kSeed, thread_id)) {}
+        : queue_(queue),
+          rng_(derive_seed(kSeed, thread_id)),
+          rh_(queue->list_.get_reclaim_handle()) {}
 
     spray_pq* queue_;
     xoshiro256ss rng_;  ///< spray walks, cleaner coin, tower heights
+    typename list_type::reclaim_handle rh_;
   };
 
   handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
@@ -99,7 +113,7 @@ class spray_pq {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  detail::concurrent_skiplist<Key, Value, Compare> list_;
+  list_type list_;
   std::size_t threads_;
   int spray_height_;
   std::uint64_t max_jump_;

@@ -22,13 +22,47 @@
 //     front, then claims the first live node from there. Sprays never
 //     restructure; spray_pq mixes in cleaner (front) pops for that.
 //
-// Memory reclamation is deferred: nodes are threaded onto striped
-// allocation lists at creation and freed only by the destructor. This
-// keeps traversals safe without hazard pointers or epochs (unlinked nodes
-// stay readable and their frozen pointers still lead back into the list)
-// and makes the bottom-level CAS ABA-free, at the cost of memory growing
-// with the total insert count for the queue's lifetime — the right trade
-// for bench-lifetime baseline queues.
+// Memory reclamation is a template policy:
+//
+//   - reclaim_deferred: nodes are threaded onto striped allocation lists
+//     at creation and freed only by the destructor. Traversals are safe
+//     and the bottom-level CAS is ABA-free without any per-op cost, but
+//     memory grows with the total insert count — acceptable only for
+//     bench-lifetime queues.
+//   - reclaim_ebr (default for the pq wrappers): epoch-based reclamation
+//     via util/ebr.hpp. Every operation runs under a pinned epoch, and
+//     the two sites that make dead nodes unreachable at level 0 — the
+//     prefix restructure's head swing and an insert's Harris-style
+//     dead-run unlink — own the nodes their successful CAS detached
+//     (CAS uniqueness makes ownership exclusive). The owner strips each
+//     node out of the upper levels it still appears in (unlink_upper)
+//     and retires it to the epoch domain, which frees it two epoch
+//     advances later. Pinning also keeps the level-0 CAS ABA-safe: a
+//     node's address cannot be recycled while any operation that could
+//     have read it is still pinned.
+//
+//     Freeing memory promotes stale upper-level hints from "benign rot"
+//     to use-after-free, so upper levels obey a strict discipline. At
+//     level 0 no extra work is needed: a marked node's pointer is
+//     frozen, and every level-0 splice CAS expects the exact current
+//     pointer value, so a link to a detached (hence retired) node can
+//     never be installed. At levels >= 1 the expectation argument does
+//     not hold (a stale successor read can be CASed in after its
+//     target's owner already swept the level), so every site that
+//     installs an upper-level pointer re-validates after the CAS and
+//     keeps unlinking while the installed successor is dead
+//     (unlink_dead_successor loops in locate_preds / unlink_upper /
+//     collect_prefix / insert's linking). The residual store-buffer
+//     race — installer's link + liveness re-check vs claimer's mark +
+//     level sweep, each missing the other — is closed by making the
+//     claiming fetch_or and the upper-level pointer accesses seq_cst
+//     (free on x86: seq_cst RMWs are the same locked instructions):
+//     in the single total order, either the installer's re-check sees
+//     the mark (and it removes its own link), or the claimer's sweep
+//     sees the link (and unlinks it). Links *from* already-unreachable
+//     nodes need no sweep: only readers pinned before the node was
+//     detached can traverse them, and while any such reader stays
+//     pinned the epoch cannot advance far enough to free the target.
 //
 // Key and Value must be trivially copyable and trivially destructible
 // (nodes are raw storage, and keys/values are read after a claim without
@@ -43,13 +77,101 @@
 #include <new>
 #include <type_traits>
 
+#include "util/ebr.hpp"
 #include "util/rng.hpp"
 #include "util/striped_counter.hpp"
 
 namespace pcq {
+
+/// Reclamation policy tags for concurrent_skiplist (and the pq wrappers
+/// built on it).
+struct reclaim_deferred {};
+struct reclaim_ebr {};
+
 namespace detail {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Node, typename Policy>
+class reclaim_state;
+
+/// Striped allocation lists; everything is freed at destruction. The
+/// handle and guard are empty so the hot paths compile to nothing.
+template <typename Node>
+class reclaim_state<Node, reclaim_deferred> {
+ public:
+  struct handle_type {};
+  struct guard_type {};
+  static constexpr bool kEager = false;
+
+  handle_type get_handle() { return {}; }
+  static guard_type pin(handle_type&) { return {}; }
+
+  void on_alloc(Node* n) {
+    auto& list = stripes_[stripe_of(n)].allocated;
+    Node* old = list.load(std::memory_order_relaxed);
+    do {
+      n->alloc_next = old;
+    } while (!list.compare_exchange_weak(old, n, std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+  static void on_unlinked(handle_type&, Node*) {}
+
+  std::size_t reclaimed_quiescent() const { return 0; }
+  std::size_t limbo_quiescent() const { return 0; }
+
+  ~reclaim_state() {
+    for (auto& stripe : stripes_) {
+      Node* cur = stripe.allocated.load(std::memory_order_relaxed);
+      while (cur != nullptr) {
+        Node* next = cur->alloc_next;
+        ::operator delete(cur);
+        cur = next;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  struct alignas(64) stripe_t {
+    std::atomic<Node*> allocated{nullptr};
+  };
+  static std::size_t stripe_of(const Node* n) {
+    return (reinterpret_cast<std::uintptr_t>(n) >> 6) & (kStripes - 1);
+  }
+  stripe_t stripes_[kStripes];
+};
+
+/// Epoch-based reclamation: unlinked nodes are retired into the owning
+/// handle's limbo and freed after the grace period. The node's alloc_next
+/// field doubles as the limbo link (a node is tracked either by the
+/// allocation stripes or by limbo, never both).
+template <typename Node>
+class reclaim_state<Node, reclaim_ebr> {
+ public:
+  struct traits {
+    static Node*& limbo_next(Node* n) { return n->alloc_next; }
+    static void reclaim(Node* n) { ::operator delete(n); }
+  };
+  using domain_type = ebr_domain<Node, traits>;
+  using handle_type = typename domain_type::handle;
+  using guard_type = typename domain_type::guard;
+  static constexpr bool kEager = true;
+
+  handle_type get_handle() { return domain_.get_handle(); }
+  static guard_type pin(handle_type& h) { return h.pin(); }
+  void on_alloc(Node*) {}
+  static void on_unlinked(handle_type& h, Node* n) { h.retire(n); }
+
+  std::size_t reclaimed_quiescent() const {
+    return domain_.reclaimed_quiescent();
+  }
+  std::size_t limbo_quiescent() const { return domain_.limbo_quiescent(); }
+
+ private:
+  domain_type domain_;
+};
+
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Reclaim = reclaim_deferred>
 class concurrent_skiplist {
   static_assert(std::is_trivially_copyable<Key>::value &&
                     std::is_trivially_destructible<Key>::value,
@@ -60,6 +182,9 @@ class concurrent_skiplist {
                 "concurrent_skiplist values must be trivially copyable and "
                 "destructible");
 
+  struct node;
+  using reclaim_type = reclaim_state<node, Reclaim>;
+
  public:
   /// Tallest tower: supports ~2^24 elements at the classic p = 1/2
   /// level-promotion rate.
@@ -67,16 +192,25 @@ class concurrent_skiplist {
   /// Marked-prefix length that triggers a head restructure.
   static constexpr std::size_t kPrefixBound = 128;
 
+  /// Per-thread reclamation registration; every operation takes one by
+  /// reference. Empty (and free) under reclaim_deferred.
+  using reclaim_handle = typename reclaim_type::handle_type;
+
   concurrent_skiplist() : head_(make_node(kMaxHeight, Key{}, Value{})) {}
 
   concurrent_skiplist(const concurrent_skiplist&) = delete;
   concurrent_skiplist& operator=(const concurrent_skiplist&) = delete;
 
   ~concurrent_skiplist() {
-    for (auto& stripe : stripes_) {
-      node* cur = stripe.allocated.load(std::memory_order_relaxed);
+    if (kEager) {
+      // Limbo nodes are freed by the domain member's destructor; the
+      // level-0 chain (live + marked-but-unclaimed-by-restructure) is
+      // ours to free here. Retired nodes are never level-0 reachable, so
+      // the two sets are disjoint.
+      node* cur = ptr_of(head_->tower()[0].load(std::memory_order_relaxed));
       while (cur != nullptr) {
-        node* next = cur->alloc_next;
+        node* next =
+            ptr_of(cur->tower()[0].load(std::memory_order_relaxed));
         ::operator delete(cur);
         cur = next;
       }
@@ -84,14 +218,34 @@ class concurrent_skiplist {
     ::operator delete(head_);
   }
 
+  reclaim_handle get_reclaim_handle() { return reclaim_.get_handle(); }
+
   /// Live elements (inserted minus claimed), summed over striped counters.
   /// Approximate under concurrency, exact when quiescent.
   std::size_t size() const { return count_.sum_clamped(); }
 
-  void insert(xoshiro256ss& rng, const Key& key, const Value& value) {
+  /// Nodes allocated and not yet freed (excludes the head sentinel).
+  /// Under reclaim_ebr this is live + marked-but-unreclaimed + limbo and
+  /// stays bounded under churn; under reclaim_deferred it is the total
+  /// insert count. Quiescent-only accuracy.
+  std::size_t allocated_nodes() const {
+    const std::size_t created = created_.sum_clamped();
+    const std::size_t freed = reclaim_.reclaimed_quiescent();
+    return created > freed ? created - freed : 0;
+  }
+
+  /// Nodes waiting out their grace period (0 under reclaim_deferred).
+  /// Quiescent-only accuracy.
+  std::size_t limbo_nodes() const { return reclaim_.limbo_quiescent(); }
+
+  void insert(reclaim_handle& rh, xoshiro256ss& rng, const Key& key,
+              const Value& value) {
+    auto epoch_guard = reclaim_type::pin(rh);
+    (void)epoch_guard;
     const int height = sample_height(rng());
     node* n = make_node(height, key, value);
-    track(n);
+    reclaim_.on_alloc(n);
+    created_.add(stripe_of(n), 1);
 
     node* preds[kMaxHeight];
     while (true) {
@@ -130,6 +284,9 @@ class concurrent_skiplist {
             restart = true;
             break;
           }
+          // The successful CAS detached [cur, run_end) — this thread owns
+          // the run exclusively and is the one that must reclaim it.
+          retire_chain(rh, cur, run_end);
           pred_next = tag_of(run_end);
           continue;
         }
@@ -148,11 +305,20 @@ class concurrent_skiplist {
     note(n, +1);
 
     // Link the upper levels best-effort; they are search hints, level 0 is
-    // the truth. Stop if the node has already been claimed.
+    // the truth. Stop if the node has already been claimed — and because
+    // the claim can land between the check and the link (or between the
+    // link and the claimer's level sweep), re-check *after* every
+    // successful link and self-unlink on detection; the seq_cst pairing
+    // with the claim's fetch_or guarantees at least one side sees the
+    // other. The freshly linked successor is similarly re-validated so a
+    // stale read can never leave n pointing at a retired node.
     for (int lvl = 1; lvl < height; ++lvl) {
       node* pred = preds[lvl];
       while (true) {
-        if (is_marked(n->tower()[0].load(std::memory_order_acquire))) return;
+        if (is_marked(n->tower()[0].load(std::memory_order_seq_cst))) {
+          unlink_upper(n);
+          return;
+        }
         std::uintptr_t succ_t = pred->tower()[lvl].load(std::memory_order_acquire);
         node* succ = ptr_of(succ_t);
         while (succ != nullptr && compare_(succ->key, key)) {
@@ -162,8 +328,13 @@ class concurrent_skiplist {
         }
         n->tower()[lvl].store(succ_t, std::memory_order_relaxed);
         if (pred->tower()[lvl].compare_exchange_strong(
-                succ_t, tag_of(n), std::memory_order_release,
+                succ_t, tag_of(n), std::memory_order_seq_cst,
                 std::memory_order_relaxed)) {
+          unlink_dead_successors(n, lvl);
+          if (is_marked(n->tower()[0].load(std::memory_order_seq_cst))) {
+            unlink_upper(n);
+            return;
+          }
           break;
         }
       }
@@ -174,7 +345,9 @@ class concurrent_skiplist {
   /// claim the first live node with one fetch_or, batch physical cleanup.
   /// Returns false when the traversal reaches the end of the list
   /// (relaxed: concurrent inserts may race with the emptiness verdict).
-  bool try_pop_front(Key& key, Value& value) {
+  bool try_pop_front(reclaim_handle& rh, Key& key, Value& value) {
+    auto epoch_guard = reclaim_type::pin(rh);
+    (void)epoch_guard;
     const std::uintptr_t observed =
         head_->tower()[0].load(std::memory_order_acquire);
     node* cur = ptr_of(observed);
@@ -182,12 +355,14 @@ class concurrent_skiplist {
     while (cur != nullptr) {
       std::uintptr_t next = cur->tower()[0].load(std::memory_order_acquire);
       if (!is_marked(next)) {
-        next = cur->tower()[0].fetch_or(1, std::memory_order_acq_rel);
+        // seq_cst: the claim anchors the total order the upper-level
+        // reclamation discipline relies on (see header comment).
+        next = cur->tower()[0].fetch_or(1, std::memory_order_seq_cst);
         if (!is_marked(next)) {
           key = cur->key;
           value = cur->value;
           note(cur, -1);
-          if (offset + 1 >= kPrefixBound) collect_prefix();
+          if (offset + 1 >= kPrefixBound) collect_prefix(rh);
           return true;
         }
       }
@@ -201,8 +376,10 @@ class concurrent_skiplist {
   /// steps in [0, max_jump] per level, descend, then claim the first live
   /// node at or after the landing point. Returns false if the spray ran
   /// off the end of the list (caller retries or cleans from the front).
-  bool try_pop_spray(xoshiro256ss& rng, int start_height,
+  bool try_pop_spray(reclaim_handle& rh, xoshiro256ss& rng, int start_height,
                      std::uint64_t max_jump, Key& key, Value& value) {
+    auto epoch_guard = reclaim_type::pin(rh);
+    (void)epoch_guard;
     node* cur = head_;
     const int top = start_height < kMaxHeight - 1 ? start_height : kMaxHeight - 1;
     for (int lvl = top; lvl >= 0; --lvl) {
@@ -219,7 +396,7 @@ class concurrent_skiplist {
     while (cur != nullptr) {
       std::uintptr_t next = cur->tower()[0].load(std::memory_order_acquire);
       if (!is_marked(next)) {
-        next = cur->tower()[0].fetch_or(1, std::memory_order_acq_rel);
+        next = cur->tower()[0].fetch_or(1, std::memory_order_seq_cst);
         if (!is_marked(next)) {
           key = cur->key;
           value = cur->value;
@@ -233,11 +410,15 @@ class concurrent_skiplist {
   }
 
  private:
+  static constexpr bool kEager = reclaim_type::kEager;
+
   struct node {
     Key key;
     Value value;
     int height;
-    node* alloc_next;  ///< striped all-allocations list, freed at destruction
+    /// Reclamation link: striped all-allocations list (reclaim_deferred)
+    /// or limbo list once retired (reclaim_ebr). Never a traversal edge.
+    node* alloc_next;
     // Tower of tagged pointers (LSB = logically-deleted mark, level 0
     // only). Trailing-array idiom: make_node() allocates `height` slots.
     std::atomic<std::uintptr_t> next_[1];
@@ -245,9 +426,6 @@ class concurrent_skiplist {
     std::atomic<std::uintptr_t>* tower() { return next_; }
   };
 
-  struct alignas(64) stripe_t {
-    std::atomic<node*> allocated{nullptr};
-  };
   static constexpr std::size_t kStripes = 64;
 
   static node* ptr_of(std::uintptr_t tagged) {
@@ -286,17 +464,85 @@ class concurrent_skiplist {
     return (reinterpret_cast<std::uintptr_t>(n) >> 6) & (kStripes - 1);
   }
 
-  void track(node* n) {
-    auto& list = stripes_[stripe_of(n)].allocated;
-    node* old = list.load(std::memory_order_relaxed);
-    do {
-      n->alloc_next = old;
-    } while (!list.compare_exchange_weak(old, n, std::memory_order_release,
-                                         std::memory_order_relaxed));
-  }
-
   void note(const node* n, std::int64_t delta) {
     count_.add(stripe_of(n), delta);
+  }
+
+  /// Reclaim an exclusively-owned chain of marked nodes that a successful
+  /// CAS just detached from level 0: [first, end), linked by their frozen
+  /// level-0 pointers. Each node is stripped out of any upper level it
+  /// still appears in, then handed to the epoch domain. No-op under
+  /// reclaim_deferred.
+  void retire_chain([[maybe_unused]] reclaim_handle& rh, node* first,
+                    node* end) {
+    if constexpr (kEager) {
+      node* n = first;
+      while (n != end) {
+        node* next = ptr_of(n->tower()[0].load(std::memory_order_relaxed));
+        unlink_upper(n);
+        reclaim_type::on_unlinked(rh, n);
+        n = next;
+      }
+    }
+  }
+
+  /// Keep unlinking pred's immediate successor at `lvl` while it is dead
+  /// (level-0-marked), re-reading after every CAS. This is the one safe
+  /// way to repoint an upper-level pointer: a single unlink CAS installs
+  /// a successor read from a dead node's tower, and that value can be
+  /// stale — possibly a node whose owner already swept this level and
+  /// retired it. Looping until the observed successor is live (or null)
+  /// restores the invariant: the seq_cst exit load orders before any
+  /// later claim of that successor, so its eventual owner's sweep is
+  /// guaranteed to see (and remove) the link we installed. Also called
+  /// after an insert links a node, for the same reason. Safe against
+  /// concurrent sweeps of the same region — a lost CAS just re-reads —
+  /// and pred itself being dead only drops hints.
+  void unlink_dead_successors(node* pred, int lvl) {
+    while (true) {
+      std::uintptr_t cur_t = pred->tower()[lvl].load(std::memory_order_seq_cst);
+      node* cur = ptr_of(cur_t);
+      if (cur == nullptr) return;
+      if (!is_marked(cur->tower()[0].load(std::memory_order_seq_cst))) return;
+      const std::uintptr_t next =
+          cur->tower()[lvl].load(std::memory_order_seq_cst);
+      pred->tower()[lvl].compare_exchange_strong(cur_t, next,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_relaxed);
+      // Success or failure: re-read and re-validate.
+    }
+  }
+
+  /// Remove n from every upper level it may be linked at, so it can be
+  /// retired. The walk advances only over live nodes and unlinks *every*
+  /// dead successor it meets (n included) via unlink_dead_successors'
+  /// discipline — plain helping that also keeps the front of each upper
+  /// list clean. Identity is irrelevant: the walk is bounded by n's key
+  /// position, n is dead, and any dead node at or before that position
+  /// is legitimately unlinkable. Afterwards n is not linked at the level
+  /// from any live-reachable predecessor: the walk covered every one,
+  /// and installations it raced with either saw n's mark (seq_cst) and
+  /// self-unlinked, or are ordered before our sweep and were swept.
+  void unlink_upper(node* n) {
+    for (int lvl = n->height - 1; lvl >= 1; --lvl) {
+      node* pred = head_;
+      while (true) {
+        std::uintptr_t cur_t =
+            pred->tower()[lvl].load(std::memory_order_seq_cst);
+        node* cur = ptr_of(cur_t);
+        if (cur == nullptr) break;
+        if (is_marked(cur->tower()[0].load(std::memory_order_seq_cst))) {
+          const std::uintptr_t next =
+              cur->tower()[lvl].load(std::memory_order_seq_cst);
+          pred->tower()[lvl].compare_exchange_strong(
+              cur_t, next, std::memory_order_seq_cst,
+              std::memory_order_relaxed);
+          continue;  // re-read pred's pointer either way
+        }
+        if (compare_(n->key, cur->key)) break;  // live and past n's position
+        pred = cur;
+      }
+    }
   }
 
   /// Fills preds[lvl] = last node with key < `key` seen at each level.
@@ -317,11 +563,17 @@ class concurrent_skiplist {
         node* cur = ptr_of(cur_t);
         if (cur == nullptr) break;
         if (lvl > 0 &&
-            is_marked(cur->tower()[0].load(std::memory_order_acquire))) {
+            is_marked(cur->tower()[0].load(std::memory_order_seq_cst))) {
+          // Same unlink-and-revalidate discipline as
+          // unlink_dead_successors: the loop re-reads after the CAS and
+          // only ever advances past a live successor, so a stale
+          // cur_next pointing at a retired node cannot survive the
+          // traversal (required under reclaim_ebr, harmless hygiene
+          // under reclaim_deferred).
           const std::uintptr_t cur_next =
-              cur->tower()[lvl].load(std::memory_order_acquire);
+              cur->tower()[lvl].load(std::memory_order_seq_cst);
           pred->tower()[lvl].compare_exchange_strong(
-              cur_t, cur_next, std::memory_order_release,
+              cur_t, cur_next, std::memory_order_seq_cst,
               std::memory_order_relaxed);
           continue;  // re-read pred's pointer either way
         }
@@ -339,20 +591,15 @@ class concurrent_skiplist {
   /// nodes. The level-0 cut retries with re-reads a few times: under front
   /// churn (inserts of new minima, concurrent claims) a one-shot CAS
   /// nearly always loses and the prefix would grow without bound. Upper
-  /// levels go first so searches keep descending into a valid region.
-  void collect_prefix() {
+  /// levels go first so searches keep descending into a valid region; any
+  /// upper link the pre-swing missed (nodes that joined the prefix after
+  /// it) is handled per-node by unlink_upper before retirement.
+  void collect_prefix(reclaim_handle& rh) {
     for (int lvl = kMaxHeight - 1; lvl >= 1; --lvl) {
-      std::uintptr_t h = head_->tower()[lvl].load(std::memory_order_acquire);
-      node* cur = ptr_of(h);
-      while (cur != nullptr &&
-             is_marked(cur->tower()[0].load(std::memory_order_acquire))) {
-        cur = ptr_of(cur->tower()[lvl].load(std::memory_order_acquire));
-      }
-      if (tag_of(cur) != h) {
-        head_->tower()[lvl].compare_exchange_strong(
-            h, tag_of(cur), std::memory_order_release,
-            std::memory_order_relaxed);
-      }
+      // One dead node at a time with revalidation (not one walk + one
+      // swing): a single CAS to a snapshot taken over a dead run could
+      // install a pointer to a node retired meanwhile.
+      unlink_dead_successors(head_, lvl);
     }
     for (int attempt = 0; attempt < 4; ++attempt) {
       std::uintptr_t first = head_->tower()[0].load(std::memory_order_acquire);
@@ -365,10 +612,12 @@ class concurrent_skiplist {
         cur = ptr_of(next);
         ++walked;
       }
-      if (walked == 0 ||
-          head_->tower()[0].compare_exchange_strong(
+      if (walked == 0) return;
+      if (head_->tower()[0].compare_exchange_strong(
               first, tag_of(cur), std::memory_order_release,
               std::memory_order_relaxed)) {
+        // The head swing detached [first, cur) — ours to reclaim.
+        retire_chain(rh, ptr_of(first), cur);
         return;
       }
     }
@@ -376,8 +625,9 @@ class concurrent_skiplist {
 
   Compare compare_{};
   node* head_;
-  stripe_t stripes_[kStripes];
   striped_counter<kStripes> count_;
+  striped_counter<kStripes> created_;
+  reclaim_type reclaim_;
 };
 
 }  // namespace detail

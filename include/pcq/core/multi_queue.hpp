@@ -15,13 +15,44 @@
 //                classic MultiQueue; beta < 1 is the paper's relaxation
 //                that trades rank quality for less contention.
 //
-// Any lock acquisition uses try_lock and resamples on failure, so threads
-// never wait behind each other on a hot queue.
+// Any lock acquisition uses try_lock and resamples on failure (with an
+// exponential backoff between attempts), so threads never wait behind
+// each other on a hot queue.
+//
+// Batched hot paths — the per-element cost of the scalar API is one lock
+// acquisition, one heap sift, and one top/count publish; batching
+// amortizes all three:
+//
+//   push_batch(items, n):  sort the batch locally (no lock held), then one
+//                          lock + n sifts + one publish.
+//   try_pop_batch(out, k): one candidate selection + one lock, up to k
+//                          pops, one publish. Elements come out in heap
+//                          (ascending) order.
+//   pop buffer:            with mq_config::pop_batch = B > 1, try_pop
+//                          refills a per-handle buffer of up to B elements
+//                          from the chosen queue and serves from it. The
+//                          extra rank relaxation is bounded: a buffered
+//                          element can be overtaken only by the at most
+//                          B-1 elements ahead of it in its own refill plus
+//                          whatever arrives while it waits — the same
+//                          invisibility shape as the k-LSM's thread-local
+//                          blocks, with B playing the role of k.
+//
+// Handles own buffered elements, so they are move-only and flush any
+// undelivered buffer back into the queue on destruction (elements never
+// die with a thread). size() sums a per-handle striped counter — O(1) in
+// the queue count, contention-free (each handle writes its own stripe) —
+// and counts buffered elements as live. Approximate under concurrency,
+// exact when quiescent.
 //
 // The *_timed variants additionally draw a timestamp from a global atomic
 // counter *inside the critical section* (the operation's linearization
 // point). Replaying the merged timestamp order through a rank oracle
-// (core/rank_recorder.hpp) yields exact, skew-free rank statistics.
+// (core/rank_recorder.hpp) yields exact, skew-free rank statistics. Timed
+// pops never refill the pop buffer (they serve a non-empty buffer first,
+// ticking at delivery — near-exact, like the skiplist baselines' timed
+// paths), so rank instrumentation of the buffered configuration measures
+// the relaxation it actually introduces.
 //
 // Key requirements: trivially copyable, totally ordered by Compare, and
 // std::numeric_limits<Key>::max() is reserved as the empty sentinel
@@ -43,6 +74,7 @@
 #include "core/detail/binary_heap.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
+#include "util/striped_counter.hpp"
 
 namespace pcq {
 
@@ -61,6 +93,12 @@ struct mq_config {
   /// inserts. 1 is the paper's algorithm; larger values are the locality
   /// extension ablated in bench_abl_sticky.
   std::size_t stickiness = 1;
+  /// Pop-buffer refill size B: try_pop serves from a per-handle buffer
+  /// refilled with up to B elements from the chosen queue under one lock.
+  /// 1 disables buffering (the paper's algorithm); larger values amortize
+  /// deleteMin's lock/publish at a bounded rank-relaxation cost (see the
+  /// header comment). Ablated in bench_abl_batch.
+  std::size_t pop_batch = 1;
   /// Base seed for the per-thread sampling RNG streams.
   std::uint64_t seed = 0x706371u;  // "pcq"
 };
@@ -72,6 +110,8 @@ class multi_queue {
                 "published through std::atomic)");
 
  public:
+  using entry = std::pair<Key, Value>;
+
   multi_queue(const mq_config& config, std::size_t num_threads)
       : config_(config),
         num_queues_(std::max<std::size_t>(
@@ -79,25 +119,48 @@ class multi_queue {
         slots_(new slot[num_queues_]) {
     if (config_.choices < 1) config_.choices = 1;
     if (config_.stickiness < 1) config_.stickiness = 1;
+    if (config_.pop_batch < 1) config_.pop_batch = 1;
   }
 
   std::size_t num_queues() const { return num_queues_; }
 
-  /// Elements currently buffered, summed over the published per-queue
-  /// atomic counts — O(#queues), no heap locks taken. Approximate under
-  /// concurrency (each count is read atomically but the sum is not a
-  /// snapshot); exact when quiescent. Regression-tested under concurrent
-  /// insert/delete in test_multi_queue.
-  std::size_t size() const {
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < num_queues_; ++i) {
-      total += slots_[i].count.load(std::memory_order_relaxed);
-    }
-    return total;
-  }
+  /// Elements currently owned by the queue, including those buffered in
+  /// handles' pop buffers. Sums the handle-striped counter: O(1) in the
+  /// queue count, no locks, no shared cache lines on the write side.
+  /// Approximate under concurrency (the sum is not a snapshot), exact
+  /// when quiescent. Regression-tested under concurrent insert/delete in
+  /// test_multi_queue.
+  std::size_t size() const { return count_.sum_clamped(); }
 
   class handle {
    public:
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    handle(handle&& other) noexcept
+        : queue_(other.queue_),
+          rng_(other.rng_),
+          scratch_(std::move(other.scratch_)),
+          batch_scratch_(std::move(other.batch_scratch_)),
+          buffer_(std::move(other.buffer_)),
+          buffer_pos_(other.buffer_pos_),
+          stripe_(other.stripe_),
+          sticky_queue_(other.sticky_queue_),
+          sticky_left_(other.sticky_left_) {
+      other.queue_ = nullptr;
+      other.buffer_.clear();
+      other.buffer_pos_ = 0;
+    }
+
+    /// Undelivered buffered elements go back into the queue — they were
+    /// never handed to the caller, so they must not die with the handle.
+    ~handle() {
+      if (queue_ != nullptr && buffer_pos_ < buffer_.size()) {
+        queue_->push_batch_impl(*this, buffer_.data() + buffer_pos_,
+                                buffer_.size() - buffer_pos_,
+                                /*counted=*/false);
+      }
+    }
+
     void push(const Key& key, const Value& value) {
       queue_->push_impl(*this, key, value, nullptr);
     }
@@ -109,6 +172,12 @@ class multi_queue {
       return ts;
     }
 
+    /// One lock + one publish for the whole batch. The batch is copied
+    /// and sorted locally before any lock is taken.
+    void push_batch(const entry* items, std::size_t n) {
+      queue_->push_batch_impl(*this, items, n, /*counted=*/true);
+    }
+
     bool try_pop(Key& key, Value& value) {
       return queue_->pop_impl(*this, key, value, nullptr);
     }
@@ -117,21 +186,34 @@ class multi_queue {
       return queue_->pop_impl(*this, key, value, &ts);
     }
 
+    /// Pops up to max_n elements from one chosen queue under one lock;
+    /// returns how many were written to out (ascending key order). 0 means
+    /// the emptiness sweep found nothing (relaxed, like try_pop).
+    std::size_t try_pop_batch(entry* out, std::size_t max_n) {
+      return queue_->pop_batch_impl(*this, out, max_n, /*counted=*/true);
+    }
+
    private:
     friend class multi_queue;
     handle(multi_queue* queue, std::size_t thread_id)
         : queue_(queue),
           rng_(derive_seed(queue->config_.seed, thread_id)),
-          scratch_(std::min(queue->config_.choices, queue->num_queues_)) {}
+          scratch_(std::min(queue->config_.choices, queue->num_queues_)),
+          stripe_(thread_id) {}
 
     multi_queue* queue_;
     xoshiro256ss rng_;
     std::vector<std::size_t> scratch_;  ///< d-choice sample buffer
+    std::vector<entry> batch_scratch_;  ///< push_batch local sort area
+    std::vector<entry> buffer_;         ///< pop buffer (refilled elements)
+    std::size_t buffer_pos_ = 0;        ///< next undelivered buffer slot
+    std::size_t stripe_ = 0;            ///< striped-counter lane
     std::size_t sticky_queue_ = 0;
     std::size_t sticky_left_ = 0;  ///< inserts remaining on sticky_queue_
   };
 
-  /// One handle per thread; thread_id only seeds the handle's RNG stream.
+  /// One handle per thread; thread_id seeds the handle's RNG stream and
+  /// picks its counter stripe.
   handle get_handle(std::size_t thread_id) { return handle(this, thread_id); }
 
  private:
@@ -149,37 +231,106 @@ class multi_queue {
   void publish(slot& s) {
     s.top.store(s.heap.empty() ? empty_key() : s.heap.top_key(),
                 std::memory_order_release);
-    s.count.store(s.heap.size(), std::memory_order_relaxed);
+    s.count.store(s.heap.size(), std::memory_order_release);
   }
 
   std::uint64_t tick() {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  void push_impl(handle& h, const Key& key, const Value& value,
-                 std::uint64_t* ts_out) {
+  /// Sticky queue selection shared by scalar and batched pushes; a batch
+  /// spends one sticky credit regardless of its size.
+  slot* lock_push_slot(handle& h, backoff& bo) {
     while (true) {
       if (h.sticky_left_ == 0) {
         h.sticky_queue_ = h.rng_.bounded(num_queues_);
         h.sticky_left_ = config_.stickiness;
       }
       slot& s = slots_[h.sticky_queue_];
-      if (!s.lock.try_lock()) {
-        // Contended: abandon the sticky queue and resample.
-        h.sticky_left_ = 0;
-        continue;
+      if (s.lock.try_lock()) {
+        --h.sticky_left_;
+        return &s;
       }
-      s.heap.push(key, value);
-      publish(s);
-      if (ts_out != nullptr) *ts_out = tick();
-      s.lock.unlock();
-      --h.sticky_left_;
-      return;
+      // Contended: abandon the sticky queue, back off, resample.
+      h.sticky_left_ = 0;
+      bo.pause();
+    }
+  }
+
+  void push_impl(handle& h, const Key& key, const Value& value,
+                 std::uint64_t* ts_out) {
+    backoff bo;
+    slot* s = lock_push_slot(h, bo);
+    s->heap.push(key, value);
+    publish(*s);
+    if (ts_out != nullptr) *ts_out = tick();
+    s->lock.unlock();
+    count_.add(h.stripe_, 1);
+  }
+
+  void push_batch_impl(handle& h, const entry* items, std::size_t n,
+                       bool counted) {
+    if (n == 0) return;
+    // Sort a local copy before locking: ascending pushes keep each sift
+    // shallow and leave the heap's min ready for the single publish.
+    h.batch_scratch_.assign(items, items + n);
+    const Compare compare{};
+    std::sort(h.batch_scratch_.begin(), h.batch_scratch_.end(),
+              [&compare](const entry& a, const entry& b) {
+                return compare(a.first, b.first);
+              });
+    backoff bo;
+    slot* s = lock_push_slot(h, bo);
+    for (const entry& e : h.batch_scratch_) s->heap.push(e.first, e.second);
+    publish(*s);
+    s->lock.unlock();
+    if (counted) {
+      count_.add(h.stripe_, static_cast<std::int64_t>(n));
     }
   }
 
   bool pop_impl(handle& h, Key& key, Value& value, std::uint64_t* ts_out) {
+    // Serve the pop buffer first. Delivery is when an element stops being
+    // "in the queue", so the counter decrements here, not at refill.
+    if (h.buffer_pos_ < h.buffer_.size()) {
+      const entry& e = h.buffer_[h.buffer_pos_++];
+      key = e.first;
+      value = e.second;
+      count_.add(h.stripe_, -1);
+      if (ts_out != nullptr) *ts_out = tick();  // delivery tick: near-exact
+      return true;
+    }
+    // Refill path (untimed pops only — see header comment).
+    if (config_.pop_batch > 1 && ts_out == nullptr) {
+      h.buffer_.resize(config_.pop_batch);
+      const std::size_t got =
+          pop_batch_impl(h, h.buffer_.data(), config_.pop_batch,
+                         /*counted=*/false);
+      h.buffer_.resize(got);
+      h.buffer_pos_ = 0;
+      if (got == 0) return false;
+      const entry& e = h.buffer_[h.buffer_pos_++];
+      key = e.first;
+      value = e.second;
+      count_.add(h.stripe_, -1);
+      return true;
+    }
+    entry e;
+    if (pop_batch_impl(h, &e, 1, /*counted=*/true, ts_out) == 0) return false;
+    key = e.first;
+    value = e.second;
+    return true;
+  }
+
+  /// The one deleteMin retry loop: (1+beta)/d candidate selection,
+  /// try_lock, up to max_n heap pops under one lock, one publish. The
+  /// scalar path is max_n = 1; ts_out (scalar callers only) draws the
+  /// linearization ticket inside the critical section.
+  std::size_t pop_batch_impl(handle& h, entry* out, std::size_t max_n,
+                             bool counted, std::uint64_t* ts_out = nullptr) {
+    if (max_n == 0) return 0;
     const Compare compare{};
+    backoff bo;
     for (unsigned attempt = 1;; ++attempt) {
       std::size_t candidate;
       bool have_candidate;
@@ -195,28 +346,43 @@ class multi_queue {
       if (have_candidate) {
         slot& s = slots_[candidate];
         if (s.lock.try_lock()) {
-          if (!s.heap.empty()) {
-            auto entry = s.heap.pop();
+          std::size_t got = 0;
+          while (got < max_n && !s.heap.empty()) out[got++] = s.heap.pop();
+          if (got > 0) {
             publish(s);
             if (ts_out != nullptr) *ts_out = tick();
             s.lock.unlock();
-            key = entry.first;
-            value = entry.second;
-            return true;
+            if (counted) {
+              count_.add(h.stripe_, -static_cast<std::int64_t>(got));
+            }
+            return got;
           }
           s.lock.unlock();
         }
       }
-      // Periodically sweep all published tops; if every queue looks
-      // empty, report emptiness (relaxed: concurrent pushes may race).
-      if (attempt % 32 == 0 || !have_candidate) {
-        bool any = false;
-        for (std::size_t i = 0; i < num_queues_ && !any; ++i) {
-          any = slots_[i].top.load(std::memory_order_acquire) != empty_key();
-        }
-        if (!any) return false;
+      if (empty_by_sweep(attempt, have_candidate)) return 0;
+      bo.pause();
+    }
+  }
+
+  /// Periodic emptiness sweep over all published tops *and counts*.
+  /// Checking only tops loses a race: publish() stores top before count,
+  /// but the count store is not ordered with it from a third thread's
+  /// point of view, so a racing push's count can land first — a sweep
+  /// that ignored counts would report a fresh element invisible for one
+  /// round. Either cell visible means the queue is worth another attempt.
+  /// Relaxed verdict either way: a push that published nothing yet can
+  /// linearize after the pop's emptiness answer.
+  bool empty_by_sweep(unsigned attempt, bool have_candidate) {
+    if (attempt % 32 != 0 && have_candidate) return false;
+    for (std::size_t i = 0; i < num_queues_; ++i) {
+      const slot& s = slots_[i];
+      if (s.top.load(std::memory_order_acquire) != empty_key() ||
+          s.count.load(std::memory_order_acquire) != 0) {
+        return false;
       }
     }
+    return true;
   }
 
   /// Samples min(choices, num_queues) distinct queues and returns the
@@ -243,6 +409,7 @@ class multi_queue {
   mq_config config_;
   std::size_t num_queues_;
   std::unique_ptr<slot[]> slots_;
+  striped_counter<64> count_;
   std::atomic<std::uint64_t> clock_{0};
 };
 

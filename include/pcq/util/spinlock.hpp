@@ -27,6 +27,30 @@ inline void cpu_relax() {
 #endif
 }
 
+/// Exponential backoff ladder for contended retry loops: each pause()
+/// doubles the number of cpu_relax() issues (1, 2, 4, ... up to 64), then
+/// degrades to yield() so oversubscribed runs hand the core to whoever
+/// holds the resource instead of hammering its cache line. Stateful and
+/// cheap to construct — make one per retry loop, reset() after success if
+/// the loop is reused.
+class backoff {
+ public:
+  void pause() {
+    if (step_ < kYieldAfter) {
+      for (unsigned i = 1u << step_; i > 0; --i) cpu_relax();
+      ++step_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { step_ = 0; }
+
+ private:
+  static constexpr unsigned kYieldAfter = 7;  ///< 1+2+...+64 = 127 pauses
+  unsigned step_ = 0;
+};
+
 class spinlock {
  public:
   spinlock() = default;
@@ -41,16 +65,12 @@ class spinlock {
   }
 
   void lock() {
-    for (unsigned spins = 0; !try_lock(); ++spins) {
-      while (locked_.load(std::memory_order_relaxed)) {
-        if (spins < 64) {
-          cpu_relax();
-        } else {
-          // Oversubscribed (or single-core) regime: let the holder run.
-          std::this_thread::yield();
-        }
-        ++spins;
-      }
+    backoff bo;
+    while (!try_lock()) {
+      // Spin on the cached read between exchange attempts, backing off
+      // exponentially (and eventually yielding) so waiters stop hammering
+      // the line the holder needs to write on unlock.
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
     }
   }
 

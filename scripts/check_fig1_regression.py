@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate multi_queue throughput against the committed fig1 baseline.
+
+Usage:
+    check_fig1_regression.py CURRENT.json BASELINE.json
+        [--threshold 0.30] [--normalize coarse]
+
+Compares every multi_queue series (names starting with "mq_") at every
+thread count present in both files and fails (exit 1) if any current
+cell is more than --threshold below the baseline cell. Non-mq series
+(the skiplist/k-LSM/coarse competitors) are reported but never gate:
+they exist for comparison, not as a perf contract.
+
+With --normalize SERIES each cell is divided by the same-run cell of
+SERIES before comparing. CI uses --normalize coarse: the coarse-locked
+heap is a stable machine-speed proxy measured in the same process, so
+runner-generation and dev-box-vs-runner absolute-throughput differences
+cancel and the gate tracks *relative* multi_queue performance — a
+hot-path regression shows up as mq falling against coarse, not as the
+whole run being slower. Without --normalize, absolute Mops/s are
+compared (useful on the machine the baseline was recorded on).
+
+Regenerate the baseline after a deliberate perf change:
+    PCQ_MAX_THREADS=2 ./build/bench_fig1_throughput
+    cp BENCH_fig1.json bench/baselines/BENCH_fig1.baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    threads = doc["threads"]
+    series = {s["name"]: dict(zip(threads, s["mops"])) for s in doc["series"]}
+    return threads, series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum allowed fractional regression")
+    parser.add_argument("--normalize", metavar="SERIES", default=None,
+                        help="divide each cell by this series' same-run cell "
+                             "before comparing (machine-speed proxy)")
+    args = parser.parse_args()
+
+    cur_threads, current = load_series(args.current)
+    base_threads, baseline = load_series(args.baseline)
+    shared_threads = [t for t in cur_threads if t in base_threads]
+    if not shared_threads:
+        print(f"no overlapping thread counts between {args.current} "
+              f"({cur_threads}) and {args.baseline} ({base_threads})")
+        return 1
+
+    if args.normalize is not None:
+        if args.normalize not in current or args.normalize not in baseline:
+            print(f"--normalize series '{args.normalize}' missing from "
+                  f"current ({sorted(current)}) or baseline "
+                  f"({sorted(baseline)})")
+            return 1
+        unit = f"x {args.normalize}"
+    else:
+        unit = "Mops/s"
+
+    def cell(series, name, t):
+        v = series[name].get(t)
+        if v is None or v <= 0:
+            return None
+        if args.normalize is None:
+            return v
+        norm = series[args.normalize].get(t)
+        if norm is None or norm <= 0:
+            return None
+        return v / norm
+
+    failures = []
+    print(f"(cells in {unit})")
+    print(f"{'series':<18}{'threads':>8}{'baseline':>10}{'current':>10}"
+          f"{'ratio':>8}  gate")
+    for name in sorted(set(current) & set(baseline)):
+        gated = name.startswith("mq_")
+        for t in shared_threads:
+            base = cell(baseline, name, t)
+            cur = cell(current, name, t)
+            if base is None:
+                continue
+            if cur is None:
+                # A dead/zero current cell against a live baseline is the
+                # worst regression there is, not a skip.
+                if gated:
+                    failures.append((name, t, base, 0.0, 0.0))
+                    print(f"{name:<18}{t:>8}{base:>10.2f}{0.0:>10.2f}"
+                          f"{0.0:>8.2f}  REGRESSION")
+                continue
+            ratio = cur / base
+            verdict = "ok"
+            if gated and ratio < 1.0 - args.threshold:
+                verdict = "REGRESSION"
+                failures.append((name, t, base, cur, ratio))
+            print(f"{name:<18}{t:>8}{base:>10.2f}{cur:>10.2f}{ratio:>8.2f}"
+                  f"  {verdict if gated else 'info'}")
+
+    missing = [n for n in baseline if n.startswith("mq_") and n not in current]
+    if missing:
+        print(f"baseline mq series missing from current run: {missing}")
+        return 1
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} multi_queue cell(s) regressed more "
+              f"than {args.threshold:.0%}:")
+        for name, t, base, cur, ratio in failures:
+            print(f"  {name} @ {t} threads: {base:.2f} -> {cur:.2f} {unit} "
+                  f"({ratio:.2f}x)")
+        return 1
+    print(f"\nOK: all multi_queue cells within {args.threshold:.0%} of the "
+          f"baseline across threads={shared_threads}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "test_macros.hpp"
@@ -175,6 +176,119 @@ void check_monotone_drain(MakeQueue make, std::size_t n, bool exact,
   }
   std::uint64_t k = 0, v = 0;
   CHECK(!handle.try_pop(k, v));
+  CHECK(queue->size() == 0);
+
+  std::sort(keys.begin(), keys.end());
+  std::sort(drained.begin(), drained.end());
+  CHECK(keys == drained);
+}
+
+/// Batched conservation: workers alternate push_batch(batch) with batch
+/// scalar try_pops (which refill through the pop buffer when the queue is
+/// configured with pop_batch > 1); handle destruction flushes undelivered
+/// buffers back into the queue, so after joining, a quiescent size() and
+/// a fresh-handle drain must account for every element. Requires the
+/// batch API (core/multi_queue.hpp).
+template <typename MakeQueue>
+void check_batched_conservation(MakeQueue make, std::size_t threads,
+                                std::size_t rounds, std::size_t batch,
+                                std::uint64_t seed) {
+  auto queue = make(threads);
+  using queue_type = typename std::decay<decltype(*queue)>::type;
+  using entry = typename queue_type::entry;
+  std::vector<std::uint64_t> pushed(threads, 0), popped(threads, 0);
+  std::vector<std::uint64_t> pops_ok(threads, 0);
+  {
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        auto handle = queue->get_handle(t);
+        xoshiro256ss rng(derive_seed(seed, t));
+        std::vector<entry> block(batch);
+        for (std::size_t r = 0; r < rounds; ++r) {
+          for (std::size_t i = 0; i < batch; ++i) {
+            const std::uint64_t key = rng() >> 1;
+            pushed[t] += key;
+            block[i] = {key, key};
+          }
+          handle.push_batch(block.data(), batch);
+          for (std::size_t i = 0; i < batch; ++i) {
+            std::uint64_t k = 0, v = 0;
+            if (handle.try_pop(k, v)) {
+              CHECK(k == v);
+              popped[t] += k;
+              ++pops_ok[t];
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  std::uint64_t pushed_sum = 0, popped_sum = 0, pop_count = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pushed_sum += pushed[t];
+    popped_sum += popped[t];
+    pop_count += pops_ok[t];
+  }
+  CHECK(queue->size() == threads * rounds * batch - pop_count);
+  {
+    auto handle = queue->get_handle(threads);
+    std::uint64_t k = 0, v = 0;
+    while (handle.try_pop(k, v)) {
+      CHECK(k == v);
+      popped_sum += k;
+      ++pop_count;
+    }
+    CHECK(pop_count == threads * rounds * batch);
+    CHECK(popped_sum == pushed_sum);
+  }
+  CHECK(queue->size() == 0);
+}
+
+/// Single-threaded batched fill then try_pop_batch drain. Each popped
+/// chunk must be ascending (heap order); with `exact` (a one-queue
+/// configuration) consecutive chunks must also be globally sorted. The
+/// drain is always a value-preserving permutation of the input.
+template <typename MakeQueue>
+void check_batched_drain(MakeQueue make, std::size_t n, std::size_t batch,
+                         bool exact, std::uint64_t seed) {
+  auto queue = make(1);
+  using queue_type = typename std::decay<decltype(*queue)>::type;
+  using entry = typename queue_type::entry;
+  auto handle = queue->get_handle(0);
+  xoshiro256ss rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  std::vector<entry> block;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t m = std::min(batch, n - done);
+    block.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t key = rng() >> 1;
+      keys.push_back(key);
+      block[i] = {key, key ^ 0x5a5au};
+    }
+    handle.push_batch(block.data(), m);
+    done += m;
+  }
+  CHECK(queue->size() == n);
+
+  std::vector<std::uint64_t> drained;
+  drained.reserve(n);
+  block.resize(batch);
+  while (drained.size() < n) {
+    const std::size_t got = handle.try_pop_batch(block.data(), batch);
+    CHECK(got > 0);
+    for (std::size_t i = 0; i < got; ++i) {
+      CHECK(block[i].second == (block[i].first ^ 0x5a5au));
+      if (i > 0) CHECK(block[i].first >= block[i - 1].first);
+      if (exact && !drained.empty()) CHECK(block[i].first >= drained.back());
+      drained.push_back(block[i].first);
+    }
+  }
+  CHECK(handle.try_pop_batch(block.data(), batch) == 0);
   CHECK(queue->size() == 0);
 
   std::sort(keys.begin(), keys.end());

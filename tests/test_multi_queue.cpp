@@ -213,6 +213,85 @@ int main() {
     CHECK(queue.size() == prefill);  // quiescent exactness
   }
 
+  // Emptiness-sweep regression (see pop_impl's empty_by_sweep): publish()
+  // stores top before count, but a third thread can observe the count
+  // store first, so the sweep must treat either cell as evidence of life.
+  // Concurrent half: a single consumer must account for every element a
+  // concurrent producer pushes — a sweep that misses a fresh element only
+  // costs a retry, but one that *loses* it hangs this loop (ctest timeout
+  // is the detector). High queue factor makes single-sample pops miss
+  // often, so the sweep path runs constantly.
+  {
+    pcq::mq_config cfg;
+    cfg.queue_factor = 16;
+    mq queue(cfg, 2);
+    const std::size_t n = 20000;
+    std::thread producer([&] {
+      auto handle = queue.get_handle(0);
+      pcq::xoshiro256ss rng(0x5eed5);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key = rng() >> 1;
+        handle.push(key, key);
+      }
+    });
+    {
+      auto handle = queue.get_handle(1);
+      std::size_t got = 0;
+      while (got < n) {
+        std::uint64_t k = 0, v = 0;
+        if (handle.try_pop(k, v)) {
+          CHECK(k == v);
+          ++got;
+        }
+      }
+    }
+    producer.join();
+    CHECK(queue.size() == 0);
+    // Quiescent half: with every push happened-before, a single try_pop
+    // per remaining element must succeed — the sweep may never report
+    // empty while anything is published.
+    {
+      auto handle = queue.get_handle(2);
+      for (std::size_t i = 0; i < 64; ++i) handle.push(i, i);
+      for (std::size_t i = 0; i < 64; ++i) {
+        std::uint64_t k = 0, v = 0;
+        CHECK(handle.try_pop(k, v));
+      }
+      std::uint64_t k = 0, v = 0;
+      CHECK(!handle.try_pop(k, v));
+    }
+  }
+
+  // Batched ops: one-lock-per-batch pushes and pops conserve elements
+  // under concurrency (including flush-on-destruction of pop buffers),
+  // and a single-queue drain through try_pop_batch is globally sorted.
+  {
+    const auto make_batched = [](std::size_t threads) {
+      pcq::mq_config cfg;
+      cfg.pop_batch = 16;
+      return std::make_unique<mq>(cfg, threads);
+    };
+    pcq::testing::check_batched_conservation(make_batched, /*threads=*/4,
+                                             /*rounds=*/500, /*batch=*/16,
+                                             0xba7c4);
+    const auto make_single = [](std::size_t threads) {
+      pcq::mq_config cfg;
+      cfg.queue_factor = 1;
+      cfg.pop_batch = 8;
+      return std::make_unique<mq>(cfg, threads);
+    };
+    pcq::testing::check_batched_drain(make_single, /*n=*/4096, /*batch=*/8,
+                                      /*exact=*/true, 0xba7c5);
+    // Multi-queue configuration: chunks stay ascending but the merge is
+    // relaxed, so no global-order assertion.
+    pcq::testing::check_batched_drain(make_batched, /*n=*/4096, /*batch=*/16,
+                                      /*exact=*/false, 0xba7c6);
+    // The standard suite through the pop-buffer configuration: buffered
+    // elements count as live, retrying consumers drain other handles'
+    // leftovers after flush, and nothing is lost or duplicated.
+    pcq::testing::run_standard_suite(make_batched, /*drain_exact=*/false);
+  }
+
   // Shared harness: conservation, no-lost-wakeups, exact drain at the
   // 1-thread degeneration.
   pcq::testing::run_standard_suite(make_mq, /*drain_exact=*/true);
