@@ -1,10 +1,9 @@
 // Structure-agnostic throughput driver: the paper's alternating
-// insert/deleteMin workload (Section 5). Works against any queue
-// exposing the handle concept of core/multi_queue.hpp:
-//
-//   auto h = queue.get_handle(thread_id);
-//   h.push(key, value);            h.push_timed(key, value) -> ts;
-//   h.try_pop(key, value) -> bool; h.try_pop_timed(key, value, ts) -> bool;
+// insert/deleteMin workload (Section 5). Written purely against the
+// handle concept of core/pq_handle.hpp (statically asserted — no
+// per-queue special cases): run_alternating additionally requires the
+// timed extension for its record_events mode, run_alternating_batched
+// uses the concept's batch ops.
 //
 // Phases: concurrent prefill (untimed), barrier, then each thread runs
 // pairs_per_thread iterations of push(random key) + try_pop. With
@@ -21,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/pq_handle.hpp"
 #include "core/rank_recorder.hpp"
 #include "util/rng.hpp"
 
@@ -73,6 +73,10 @@ class spin_barrier {
 
 template <typename Queue>
 run_result run_alternating(Queue& queue, const workload_config& config) {
+  PCQ_ASSERT_PQ_CONCEPT(Queue);
+  static_assert(has_timed_api<Queue>::value,
+                "run_alternating's record_events mode needs the timed "
+                "extension (push_timed / try_pop_timed)");
   using clock = std::chrono::steady_clock;
   const std::size_t threads = config.num_threads ? config.num_threads : 1;
 
@@ -155,18 +159,19 @@ run_result run_alternating(Queue& queue, const workload_config& config) {
   return result;
 }
 
-/// Batched variant of run_alternating for queues exposing the batch API
-/// (core/multi_queue.hpp): each round pushes `batch` keys with one
-/// push_batch and then pops `batch` elements with try_pop — configure the
-/// queue with mq_config::pop_batch = batch so pops refill through the
-/// per-handle buffer and both hot paths run amortized. Untimed only (the
-/// timed API deliberately bypasses the pop buffer). pairs_per_thread is
-/// rounded down to a whole number of rounds so throughput numbers stay
+/// Batched variant of run_alternating through the concept's batch ops:
+/// each round pushes `batch` keys with one push_batch and then pops
+/// `batch` elements with try_pop — for the MultiQueue, configure
+/// mq_config::pop_batch = batch so pops refill through the per-handle
+/// buffer and both hot paths run amortized. Untimed only (the timed API
+/// deliberately bypasses the pop buffer). pairs_per_thread is rounded
+/// down to a whole number of rounds so throughput numbers stay
 /// per-element comparable with the scalar driver.
 template <typename Queue>
 run_result run_alternating_batched(Queue& queue,
                                    const workload_config& config,
                                    std::size_t batch) {
+  PCQ_ASSERT_PQ_CONCEPT(Queue);
   using clock = std::chrono::steady_clock;
   const std::size_t threads = config.num_threads ? config.num_threads : 1;
   const std::size_t b = batch ? batch : 1;

@@ -1,7 +1,17 @@
 // Coarse-grained baseline: one binary heap behind one lock. The paper's
 // Figure 1 "lock-based heap" competitor — strict semantics (rank always
-// 0), collapses under contention. Exposes the same handle / timed-API
-// concept as multi_queue so the bench driver is structure-agnostic.
+// 0), collapses under contention. Models the full handle concept of
+// core/pq_handle.hpp (move-only handles, batch ops, timed extension) so
+// the bench driver, the test harness, and the graph layer are
+// structure-agnostic.
+//
+// Every op blocks on the one spinlock, whose lock() runs the PR3
+// pcq::backoff ladder (cached-read gate between try_lock attempts,
+// exponential pauses degrading to yields) — that ladder is what keeps
+// fig3's coarse column convoy-free: waiters stop hammering the cache
+// line the holder needs to write on unlock. Batched ops take the lock
+// once per batch, which is the only amortization a single-lock
+// structure has to offer.
 
 #pragma once
 
@@ -9,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "core/detail/binary_heap.hpp"
 #include "util/spinlock.hpp"
@@ -18,6 +29,8 @@ namespace pcq {
 template <typename Key, typename Value, typename Compare = std::less<Key>>
 class coarse_pq {
  public:
+  using entry = std::pair<Key, Value>;
+
   coarse_pq() = default;
 
   std::size_t num_queues() const { return 1; }
@@ -28,6 +41,13 @@ class coarse_pq {
 
   class handle {
    public:
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    handle& operator=(handle&&) = delete;
+    handle(handle&& other) noexcept : queue_(other.queue_) {
+      other.queue_ = nullptr;
+    }
+
     void push(const Key& key, const Value& value) {
       queue_->push_impl(key, value, nullptr);
     }
@@ -38,12 +58,22 @@ class coarse_pq {
       return ts;
     }
 
+    /// One lock acquisition for the whole batch.
+    void push_batch(const entry* items, std::size_t n) {
+      queue_->push_batch_impl(items, n);
+    }
+
     bool try_pop(Key& key, Value& value) {
       return queue_->pop_impl(key, value, nullptr);
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
       return queue_->pop_impl(key, value, &ts);
+    }
+
+    /// Up to max_n exact deleteMins under one lock; ascending output.
+    std::size_t try_pop_batch(entry* out, std::size_t max_n) {
+      return queue_->pop_batch_impl(out, max_n);
     }
 
    private:
@@ -65,6 +95,16 @@ class coarse_pq {
     lock_.unlock();
   }
 
+  void push_batch_impl(const entry* items, std::size_t n) {
+    if (n == 0) return;
+    lock_.lock();
+    for (std::size_t i = 0; i < n; ++i) {
+      heap_.push(items[i].first, items[i].second);
+    }
+    count_.store(heap_.size(), std::memory_order_relaxed);
+    lock_.unlock();
+  }
+
   bool pop_impl(Key& key, Value& value, std::uint64_t* ts_out) {
     lock_.lock();
     if (heap_.empty()) {
@@ -80,6 +120,16 @@ class coarse_pq {
     key = entry.first;
     value = entry.second;
     return true;
+  }
+
+  std::size_t pop_batch_impl(entry* out, std::size_t max_n) {
+    if (max_n == 0) return 0;
+    lock_.lock();
+    std::size_t got = 0;
+    while (got < max_n && !heap_.empty()) out[got++] = heap_.pop();
+    count_.store(heap_.size(), std::memory_order_relaxed);
+    lock_.unlock();
+    return got;
   }
 
   spinlock lock_;

@@ -17,9 +17,11 @@
 // each, so a deleteMin returns one of the smallest ~k·P + 1 keys) plus
 // transient staleness of the scanned tops.
 //
-// Handles are move-only and flush their local component to the shared
-// one on destruction, so elements never die with a thread and a fresh
-// handle can always drain the queue completely.
+// Handles model the concept of core/pq_handle.hpp: move-only, batch ops
+// (push_batch installs the batch as one pre-sorted LSM block — the
+// structure's native amortization unit), and flush of the local
+// component to the shared one on destruction, so elements never die with
+// a thread and a fresh handle can always drain the queue completely.
 //
 // std::numeric_limits<Key>::max() is reserved as the empty-top sentinel
 // (the repo-wide convention; never insert it).
@@ -97,6 +99,31 @@ class klsm_pq {
       return queue_->tick();
     }
 
+    /// n inserts as ONE pre-sorted LSM block (then the usual equal-size
+    /// merges), so a batch costs one O(n log n) local sort instead of n
+    /// separate block merges — the k-LSM's native amortization unit.
+    /// Crossing the k bound flushes, exactly as n scalar pushes would.
+    void push_batch(const entry* items, std::size_t n) {
+      if (n == 0) return;
+      const Compare& compare = queue_->compare_;
+      std::vector<entry> block(items, items + n);
+      std::sort(block.begin(), block.end(),
+                [&compare](const entry& x, const entry& y) {
+                  return compare(y.first, x.first);  // descending
+                });
+      blocks_.push_back(std::move(block));
+      while (blocks_.size() >= 2 &&
+             blocks_[blocks_.size() - 2].size() <= blocks_.back().size()) {
+        std::vector<entry> merged = merge_desc(
+            compare, blocks_[blocks_.size() - 2], blocks_.back());
+        blocks_.pop_back();
+        blocks_.back() = std::move(merged);
+      }
+      local_count_ += n;
+      queue_->note(stripe_, static_cast<std::int64_t>(n));
+      if (local_count_ > queue_->k_) flush_local();
+    }
+
     bool try_pop(Key& key, Value& value) {
       klsm_pq* q = queue_;
       const Compare& compare = q->compare_;
@@ -152,6 +179,19 @@ class klsm_pq {
       if (!try_pop(key, value)) return false;
       ts = queue_->tick();
       return true;
+    }
+
+    /// Up to max_n deleteMins. Each is the full local-vs-shared-top
+    /// comparison (the k-LSM's per-op synchronization is already
+    /// amortized through its sorted blocks, so there is nothing further
+    /// to batch away); chunks are ascending whenever the handle runs
+    /// alone, since every element is then the exact minimum it sees.
+    std::size_t try_pop_batch(entry* out, std::size_t max_n) {
+      std::size_t got = 0;
+      while (got < max_n && try_pop(out[got].first, out[got].second)) {
+        ++got;
+      }
+      return got;
     }
 
     /// Elements buffered locally (invisible to other handles); <= k.

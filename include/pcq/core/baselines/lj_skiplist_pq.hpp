@@ -7,11 +7,19 @@
 // All the algorithmic content — marked-prefix traversal, one-fetch_or
 // claims, batched head restructuring, policy-selected memory reclamation
 // — lives in core/detail/concurrent_skiplist.hpp; this wrapper adds the
-// handle / timed-API surface pq_bench_driver.hpp consumes. The default
-// reclaim_ebr policy frees retired towers during operation (long-lived
-// queues stay O(live + threads * limbo) instead of growing with the total
-// insert count); instantiate with reclaim_deferred for the
-// free-at-destruction behavior. Timestamps are drawn from a global atomic
+// handle concept surface of core/pq_handle.hpp. Handles are move-only:
+// each owns its epoch-reclamation record (the EBR registration), which
+// is what enables the batch ops' pin/unpin elision — push_batch and
+// try_pop_batch pin the epoch once for the whole batch instead of once
+// per element. Batched pops stay strict per element: each claim
+// re-traverses from the head, so every popped element is the global
+// minimum at its claim instant (the head restructure keeps the re-walked
+// prefix bounded). The default reclaim_ebr policy frees retired towers
+// during operation (long-lived queues stay O(live + threads * limbo)
+// instead of growing with the total insert count); instantiate with
+// reclaim_deferred for the free-at-destruction behavior.
+//
+// Timestamps for the timed extension are drawn from a global atomic
 // counter immediately after the claiming fetch_or / linking CAS rather
 // than inside a critical section (there is none), so replayed ranks for
 // this queue are near-exact, not exact; the fig1 bench only uses the
@@ -23,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "core/detail/concurrent_skiplist.hpp"
 #include "util/rng.hpp"
@@ -35,6 +44,8 @@ class lj_skiplist_pq {
   using list_type = detail::concurrent_skiplist<Key, Value, Compare, Reclaim>;
 
  public:
+  using entry = std::pair<Key, Value>;
+
   lj_skiplist_pq() = default;
 
   std::size_t num_queues() const { return 1; }
@@ -46,6 +57,16 @@ class lj_skiplist_pq {
 
   class handle {
    public:
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    handle& operator=(handle&&) = delete;
+    handle(handle&& other) noexcept
+        : queue_(other.queue_),
+          rng_(other.rng_),
+          rh_(std::move(other.rh_)) {
+      other.queue_ = nullptr;
+    }
+
     void push(const Key& key, const Value& value) {
       queue_->list_.insert(rh_, rng_, key, value);
     }
@@ -53,6 +74,17 @@ class lj_skiplist_pq {
     std::uint64_t push_timed(const Key& key, const Value& value) {
       queue_->list_.insert(rh_, rng_, key, value);
       return queue_->tick();
+    }
+
+    /// n inserts under one epoch pin.
+    void push_batch(const entry* items, std::size_t n) {
+      if (n == 0) return;
+      auto guard = queue_->list_.pin(rh_);
+      (void)guard;
+      for (std::size_t i = 0; i < n; ++i) {
+        queue_->list_.insert_pinned(rh_, rng_, items[i].first,
+                                    items[i].second);
+      }
     }
 
     bool try_pop(Key& key, Value& value) {
@@ -63,6 +95,22 @@ class lj_skiplist_pq {
       if (!queue_->list_.try_pop_front(rh_, key, value)) return false;
       ts = queue_->tick();
       return true;
+    }
+
+    /// Up to max_n front claims under one epoch pin — each one the exact
+    /// minimum at its claim instant, so strictness is preserved per
+    /// element and single-threaded chunks come out globally sorted.
+    std::size_t try_pop_batch(entry* out, std::size_t max_n) {
+      if (max_n == 0) return 0;
+      auto guard = queue_->list_.pin(rh_);
+      (void)guard;
+      std::size_t got = 0;
+      while (got < max_n &&
+             queue_->list_.try_pop_front_pinned(rh_, out[got].first,
+                                                out[got].second)) {
+        ++got;
+      }
+      return got;
     }
 
    private:

@@ -17,16 +17,23 @@
 // A spray that runs off the end of the list falls back to a front pop, so
 // emptiness detection matches try_pop_front's (relaxed under races).
 //
+// Models the handle concept of core/pq_handle.hpp: handles are move-only
+// and own their epoch-reclamation record, so push_batch / try_pop_batch
+// pin the epoch once per batch (pin/unpin elision) while running the
+// per-element spray logic unchanged.
+//
 // Reclamation is policy-selected in the substrate: the default
 // reclaim_ebr frees sprayed-out towers during operation once an insert's
 // helping unlink or a cleaner's restructure detaches them.
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "core/detail/concurrent_skiplist.hpp"
 #include "util/rng.hpp"
@@ -39,6 +46,8 @@ class spray_pq {
   using list_type = detail::concurrent_skiplist<Key, Value, Compare, Reclaim>;
 
  public:
+  using entry = std::pair<Key, Value>;
+
   explicit spray_pq(std::size_t num_threads)
       : threads_(num_threads > 0 ? num_threads : 1),
         spray_height_(floor_log2(threads_) + 1),
@@ -57,6 +66,16 @@ class spray_pq {
 
   class handle {
    public:
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    handle& operator=(handle&&) = delete;
+    handle(handle&& other) noexcept
+        : queue_(other.queue_),
+          rng_(other.rng_),
+          rh_(std::move(other.rh_)) {
+      other.queue_ = nullptr;
+    }
+
     void push(const Key& key, const Value& value) {
       queue_->list_.insert(rh_, rng_, key, value);
     }
@@ -66,15 +85,21 @@ class spray_pq {
       return queue_->tick();
     }
 
-    bool try_pop(Key& key, Value& value) {
-      spray_pq* q = queue_;
-      if (q->threads_ > 1 && !rng_.bernoulli(q->cleaner_prob_)) {
-        if (q->list_.try_pop_spray(rh_, rng_, q->spray_height_, q->max_jump_,
-                                   key, value)) {
-          return true;
-        }
+    /// n inserts under one epoch pin.
+    void push_batch(const entry* items, std::size_t n) {
+      if (n == 0) return;
+      auto guard = queue_->list_.pin(rh_);
+      (void)guard;
+      for (std::size_t i = 0; i < n; ++i) {
+        queue_->list_.insert_pinned(rh_, rng_, items[i].first,
+                                    items[i].second);
       }
-      return q->list_.try_pop_front(rh_, key, value);
+    }
+
+    bool try_pop(Key& key, Value& value) {
+      auto guard = queue_->list_.pin(rh_);
+      (void)guard;
+      return pop_pinned(key, value);
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
@@ -83,12 +108,46 @@ class spray_pq {
       return true;
     }
 
+    /// Up to max_n sprayed claims under one epoch pin. Relaxation per
+    /// element matches the scalar op. Claims land wherever the sprays
+    /// do, so the chunk is sorted locally before returning to honor the
+    /// concept's ascending-chunk postcondition — O(n log n) on private
+    /// data, noise next to n list descents.
+    std::size_t try_pop_batch(entry* out, std::size_t max_n) {
+      if (max_n == 0) return 0;
+      std::size_t got = 0;
+      {
+        auto guard = queue_->list_.pin(rh_);
+        (void)guard;
+        while (got < max_n && pop_pinned(out[got].first, out[got].second)) {
+          ++got;
+        }
+      }
+      const Compare compare{};
+      std::sort(out, out + got, [&compare](const entry& a, const entry& b) {
+        return compare(a.first, b.first);
+      });
+      return got;
+    }
+
    private:
     friend class spray_pq;
     handle(spray_pq* queue, std::size_t thread_id)
         : queue_(queue),
           rng_(derive_seed(kSeed, thread_id)),
           rh_(queue->list_.get_reclaim_handle()) {}
+
+    /// One deleteMin (spray or cleaner coin) under a caller-held pin.
+    bool pop_pinned(Key& key, Value& value) {
+      spray_pq* q = queue_;
+      if (q->threads_ > 1 && !rng_.bernoulli(q->cleaner_prob_)) {
+        if (q->list_.try_pop_spray_pinned(rh_, rng_, q->spray_height_,
+                                          q->max_jump_, key, value)) {
+          return true;
+        }
+      }
+      return q->list_.try_pop_front_pinned(rh_, key, value);
+    }
 
     spray_pq* queue_;
     xoshiro256ss rng_;  ///< spray walks, cleaner coin, tower heights

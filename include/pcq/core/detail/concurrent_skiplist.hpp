@@ -220,6 +220,15 @@ class concurrent_skiplist {
 
   reclaim_handle get_reclaim_handle() { return reclaim_.get_handle(); }
 
+  /// Caller-held epoch pin. The `*_pinned` operation variants run under a
+  /// guard obtained here, so a batch of operations pays one pin/unpin
+  /// (store + seq_cst fence + load) instead of one per element — the
+  /// pin/unpin elision the baseline batch APIs are built on. Guards are
+  /// not reentrant: never call a pinning (non-`_pinned`) operation while
+  /// holding one. An empty no-op under reclaim_deferred.
+  using pin_guard = typename reclaim_type::guard_type;
+  pin_guard pin(reclaim_handle& rh) { return reclaim_type::pin(rh); }
+
   /// Live elements (inserted minus claimed), summed over striped counters.
   /// Approximate under concurrency, exact when quiescent.
   std::size_t size() const { return count_.sum_clamped(); }
@@ -242,6 +251,12 @@ class concurrent_skiplist {
               const Value& value) {
     auto epoch_guard = reclaim_type::pin(rh);
     (void)epoch_guard;
+    insert_pinned(rh, rng, key, value);
+  }
+
+  /// insert body; caller holds a pin() guard for rh.
+  void insert_pinned(reclaim_handle& rh, xoshiro256ss& rng, const Key& key,
+                     const Value& value) {
     const int height = sample_height(rng());
     node* n = make_node(height, key, value);
     reclaim_.on_alloc(n);
@@ -348,6 +363,11 @@ class concurrent_skiplist {
   bool try_pop_front(reclaim_handle& rh, Key& key, Value& value) {
     auto epoch_guard = reclaim_type::pin(rh);
     (void)epoch_guard;
+    return try_pop_front_pinned(rh, key, value);
+  }
+
+  /// try_pop_front body; caller holds a pin() guard for rh.
+  bool try_pop_front_pinned(reclaim_handle& rh, Key& key, Value& value) {
     const std::uintptr_t observed =
         head_->tower()[0].load(std::memory_order_acquire);
     node* cur = ptr_of(observed);
@@ -380,6 +400,15 @@ class concurrent_skiplist {
                      std::uint64_t max_jump, Key& key, Value& value) {
     auto epoch_guard = reclaim_type::pin(rh);
     (void)epoch_guard;
+    return try_pop_spray_pinned(rh, rng, start_height, max_jump, key, value);
+  }
+
+  /// try_pop_spray body; caller holds a pin() guard for rh (the handle
+  /// parameter is kept for signature symmetry — sprays never restructure,
+  /// so they retire nothing themselves).
+  bool try_pop_spray_pinned([[maybe_unused]] reclaim_handle& rh,
+                            xoshiro256ss& rng, int start_height,
+                            std::uint64_t max_jump, Key& key, Value& value) {
     node* cur = head_;
     const int top = start_height < kMaxHeight - 1 ? start_height : kMaxHeight - 1;
     for (int lvl = top; lvl >= 0; --lvl) {

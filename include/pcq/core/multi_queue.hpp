@@ -38,9 +38,10 @@
 //                          invisibility shape as the k-LSM's thread-local
 //                          blocks, with B playing the role of k.
 //
-// Handles own buffered elements, so they are move-only and flush any
-// undelivered buffer back into the queue on destruction (elements never
-// die with a thread). size() sums a per-handle striped counter — O(1) in
+// Handles model the uniform queue concept of core/pq_handle.hpp (this
+// class is the concept's reference implementation): they own buffered
+// elements, so they are move-only and flush any undelivered buffer back
+// into the queue on destruction (elements never die with a thread). size() sums a per-handle striped counter — O(1) in
 // the queue count, contention-free (each handle writes its own stripe) —
 // and counts buffered elements as live. Approximate under concurrency,
 // exact when quiescent.

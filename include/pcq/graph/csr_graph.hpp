@@ -1,0 +1,96 @@
+// Compressed-sparse-row directed graph — the graph layer's one storage
+// format. 32-bit node ids and arc weights (the DIMACS road networks fit
+// comfortably), 64-bit arc offsets (USA-road has ~58M arcs). Arcs of a
+// node are contiguous, so SSSP relaxation scans are a single linear
+// sweep per settled node.
+//
+// Construction is from an arbitrary-order edge list via counting sort —
+// O(n + m), no comparison sort — which both the DIMACS parser
+// (graph/dimacs.hpp) and the synthetic generators (graph/generators.hpp)
+// feed. Distances use 64-bit accumulators everywhere
+// (graph/dijkstra.hpp): 2^32 nodes x 2^32-bounded weights cannot
+// overflow them.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pcq {
+namespace graph {
+
+class csr_graph {
+ public:
+  using node_id = std::uint32_t;
+  using weight_t = std::uint32_t;
+
+  /// One directed arc as stored: target and weight (the source is
+  /// implicit in the CSR row).
+  struct arc {
+    node_id head;
+    weight_t weight;
+  };
+
+  /// One directed edge as input to from_edges.
+  struct edge {
+    node_id tail;
+    node_id head;
+    weight_t weight;
+  };
+
+  csr_graph() = default;
+
+  /// Counting-sort construction from an arbitrary-order edge list.
+  /// Parallel edges are kept (SSSP just relaxes both); edges must
+  /// reference nodes < num_nodes.
+  static csr_graph from_edges(node_id num_nodes,
+                              const std::vector<edge>& edges) {
+    csr_graph g;
+    g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+    for (const edge& e : edges) {
+      ++g.offsets_[static_cast<std::size_t>(e.tail) + 1];
+    }
+    for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+      g.offsets_[i] += g.offsets_[i - 1];
+    }
+    g.arcs_.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (const edge& e : edges) {
+      g.arcs_[cursor[e.tail]++] = arc{e.head, e.weight};
+    }
+    return g;
+  }
+
+  node_id num_nodes() const {
+    return offsets_.empty() ? 0
+                            : static_cast<node_id>(offsets_.size() - 1);
+  }
+  std::uint64_t num_edges() const { return arcs_.size(); }
+
+  /// Iterable view over a node's out-arcs (contiguous CSR row).
+  struct arc_range {
+    const arc* first;
+    const arc* last;
+    const arc* begin() const { return first; }
+    const arc* end() const { return last; }
+    std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  };
+
+  arc_range out(node_id u) const {
+    return arc_range{arcs_.data() + offsets_[u],
+                     arcs_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  /// Out-degree of u.
+  std::size_t degree(node_id u) const { return out(u).size(); }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  ///< n+1 row starts into arcs_
+  std::vector<arc> arcs_;
+};
+
+}  // namespace graph
+}  // namespace pcq

@@ -1,0 +1,173 @@
+// Parallel single-source shortest paths over ANY queue modeling the
+// handle concept of core/pq_handle.hpp — the paper's Figure 3 workload
+// (parallel Dijkstra on a road network), written once and instantiated
+// for all five queues.
+//
+// Algorithm (label-correcting Dijkstra):
+//
+//   dist[] is an array of atomic 64-bit tentative distances. A worker
+//   pops (d, v); if dist[v] < d the entry is STALE — some thread already
+//   improved v past the priority this entry was queued at — and is
+//   dropped without scanning v's arcs (the stale-entry elision; under a
+//   relaxed queue this also absorbs out-of-order pops, which merely make
+//   an entry stale more often). Otherwise the worker relaxes v's arcs
+//   with a CAS-min loop per head node and pushes one new entry per
+//   successful decrease, batched through push_batch (one lock / epoch
+//   pin / LSM block for the whole arc scan). Every dist[] decrease is
+//   monotone, so the fixpoint is the exact shortest-path distances — for
+//   relaxed AND strict queues; relaxation costs extra stale work, never
+//   correctness. fig3 and the ctest suite assert exact equality against
+//   sequential Dijkstra.
+//
+// Termination protocol (the concept makes emptiness RELAXED — a false
+// try_pop means "looked empty", so it can never terminate the loop by
+// itself):
+//
+//   A shared in_flight counter tracks queue entries plus in-progress
+//   relaxations: incremented before entries become poppable (the seed
+//   push, and each batch BEFORE push_batch publishes it), decremented
+//   only after the popped entry is fully processed (successor entries
+//   already counted and pushed). Invariant: in_flight == 0 implies the
+//   queue is empty AND no thread can push again — every poppable entry
+//   is counted, and a processing thread still holds its own entry's
+//   count while it pushes successors. So a worker that sees a failed pop
+//   re-checks in_flight: zero => done (the per-queue emptiness sweep
+//   said empty and the counter proves nothing is in flight); nonzero =>
+//   back off (pcq::backoff ladder) and retry, because an element exists
+//   or is about to — handle-buffered elements (k-LSM local components,
+//   MultiQueue pop buffers) count as in flight and are poppable by their
+//   owner, so progress is always possible. The acquire load of a zero
+//   in_flight synchronizes with the release decrement of the last
+//   processed entry, ordering every dist[] write before any worker
+//   returns.
+//
+// Workers join before the function returns, so reading the final
+// distances out of the atomics is race-free.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/pq_handle.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/spinlock.hpp"
+#include "util/timer.hpp"
+
+namespace pcq {
+namespace graph {
+
+struct sssp_result {
+  std::vector<std::uint64_t> distance;  ///< kUnreachable if no path
+  double seconds = 0.0;                 ///< threaded phase wall time
+  std::uint64_t relaxations = 0;        ///< successful dist[] decreases
+  std::uint64_t stale_pops = 0;         ///< entries dropped by elision
+};
+
+/// Runs SSSP from `source` with `num_threads` workers sharing `queue`
+/// (passed in empty; configured by the caller — this is where fig3's
+/// beta/k knobs live). Queue entries are (distance, node).
+template <typename Queue>
+sssp_result parallel_sssp(const csr_graph& g, csr_graph::node_id source,
+                          std::size_t num_threads, Queue& queue) {
+  PCQ_ASSERT_PQ_CONCEPT(Queue);
+  using entry = typename Queue::entry;
+
+  const std::size_t n = g.num_nodes();
+  const std::size_t threads = num_threads > 0 ? num_threads : 1;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> dist(
+      new std::atomic<std::uint64_t>[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i].store(kUnreachable, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> in_flight{0};
+  std::vector<std::uint64_t> relaxed(threads, 0), stale(threads, 0);
+
+  dist[source].store(0, std::memory_order_relaxed);
+  in_flight.store(1, std::memory_order_relaxed);
+  {
+    // Scoped so buffering queues (k-LSM) flush the seed entry into
+    // shared visibility before any worker starts.
+    auto seeder = queue.get_handle(0);
+    seeder.push(0, source);
+  }
+
+  auto worker = [&](std::size_t tid) {
+    auto handle = queue.get_handle(tid);
+    std::vector<entry> batch;
+    backoff bo;
+    std::uint64_t my_relaxed = 0, my_stale = 0;
+    while (true) {
+      typename entry::first_type key{};
+      typename entry::second_type value{};
+      if (!handle.try_pop(key, value)) {
+        if (in_flight.load(std::memory_order_acquire) == 0) break;
+        bo.pause();
+        continue;
+      }
+      bo.reset();
+      const auto d = static_cast<std::uint64_t>(key);
+      const auto u = static_cast<csr_graph::node_id>(value);
+      if (dist[u].load(std::memory_order_acquire) < d) {
+        ++my_stale;  // stale-entry elision: v was improved past d
+      } else {
+        batch.clear();
+        for (const csr_graph::arc& a : g.out(u)) {
+          const std::uint64_t nd = d + a.weight;
+          std::uint64_t cur = dist[a.head].load(std::memory_order_relaxed);
+          while (nd < cur) {
+            if (dist[a.head].compare_exchange_weak(
+                    cur, nd, std::memory_order_acq_rel,
+                    std::memory_order_relaxed)) {
+              batch.push_back(entry(nd, a.head));
+              ++my_relaxed;
+              break;
+            }
+          }
+        }
+        if (!batch.empty()) {
+          // Count BEFORE publishing: an entry must never be poppable
+          // while uncounted, or a racing zero-check could terminate
+          // workers with work still queued.
+          in_flight.fetch_add(batch.size(), std::memory_order_relaxed);
+          handle.push_batch(batch.data(), batch.size());
+        }
+      }
+      // Our entry is fully processed only now (successors counted and
+      // pushed); release so the terminating zero-load orders all dist[]
+      // writes before any worker returns.
+      in_flight.fetch_sub(1, std::memory_order_release);
+    }
+    relaxed[tid] = my_relaxed;
+    stale[tid] = my_stale;
+  };
+
+  wall_timer timer;
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+    worker(0);
+    for (auto& t : pool) t.join();
+  }
+
+  sssp_result result;
+  result.seconds = timer.elapsed_seconds();
+  result.distance.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.distance[i] = dist[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t t = 0; t < threads; ++t) {
+    result.relaxations += relaxed[t];
+    result.stale_pops += stale[t];
+  }
+  return result;
+}
+
+}  // namespace graph
+}  // namespace pcq

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for benches and the graph layer: steady_clock,
+// started at construction, read without stopping. Monotonic (immune to
+// NTP steps), ~20ns per read on Linux — fine to call per measured phase,
+// not per element.
+
+#pragma once
+
+#include <chrono>
+
+namespace pcq {
+
+class wall_timer {
+ public:
+  wall_timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pcq

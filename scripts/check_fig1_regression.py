@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Gate multi_queue throughput against the committed fig1 baseline.
+"""Gate multi_queue performance against a committed bench baseline.
 
 Usage:
     check_fig1_regression.py CURRENT.json BASELINE.json
-        [--threshold 0.30] [--normalize coarse]
+        [--figure fig1] [--threshold 0.30] [--normalize coarse]
+        [--gate-prefix mq_]
 
-Compares every multi_queue series (names starting with "mq_") at every
-thread count present in both files and fails (exit 1) if any current
-cell is more than --threshold below the baseline cell. Non-mq series
-(the skiplist/k-LSM/coarse competitors) are reported but never gate:
-they exist for comparison, not as a perf contract.
+Works for any BENCH_<figure>.json produced by benchlib/json_writer.hpp
+with the shape {threads: [...], series: [{name, mops: [...]}]} — fig1
+emits Mops/s, fig3 emits million-settled-nodes/s; both are
+higher-is-better, which is all the gate assumes. --figure only labels
+the report (the filename keeps its historical fig1 name; it gates every
+figure).
+
+Compares every gated series (names starting with --gate-prefix, default
+"mq_") at every thread count present in both files and fails (exit 1)
+if any current cell is more than --threshold below the baseline cell.
+Non-gated series (the skiplist/k-LSM/coarse competitors) are reported
+but never gate: they exist for comparison, not as a perf contract.
 
 With --normalize SERIES each cell is divided by the same-run cell of
 SERIES before comparing. CI uses --normalize coarse: the coarse-locked
@@ -17,12 +25,14 @@ heap is a stable machine-speed proxy measured in the same process, so
 runner-generation and dev-box-vs-runner absolute-throughput differences
 cancel and the gate tracks *relative* multi_queue performance — a
 hot-path regression shows up as mq falling against coarse, not as the
-whole run being slower. Without --normalize, absolute Mops/s are
+whole run being slower. Without --normalize, absolute values are
 compared (useful on the machine the baseline was recorded on).
 
-Regenerate the baseline after a deliberate perf change:
+Regenerate a baseline after a deliberate perf change, e.g.:
     PCQ_MAX_THREADS=2 ./build/bench_fig1_throughput
     cp BENCH_fig1.json bench/baselines/BENCH_fig1.baseline.json
+(for fig3: bench_fig3_sssp / BENCH_fig3.json, recorded with
+PCQ_MAX_THREADS=16 — see docs/BENCHMARKS.md for the why).
 """
 
 import argparse
@@ -42,30 +52,36 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
     parser.add_argument("baseline")
+    parser.add_argument("--figure", default="fig1",
+                        help="figure name, used to label the report")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="maximum allowed fractional regression")
     parser.add_argument("--normalize", metavar="SERIES", default=None,
                         help="divide each cell by this series' same-run cell "
                              "before comparing (machine-speed proxy)")
+    parser.add_argument("--gate-prefix", default="mq_",
+                        help="series whose names start with this prefix gate; "
+                             "the rest are informational")
     args = parser.parse_args()
 
     cur_threads, current = load_series(args.current)
     base_threads, baseline = load_series(args.baseline)
     shared_threads = [t for t in cur_threads if t in base_threads]
     if not shared_threads:
-        print(f"no overlapping thread counts between {args.current} "
-              f"({cur_threads}) and {args.baseline} ({base_threads})")
+        print(f"[{args.figure}] no overlapping thread counts between "
+              f"{args.current} ({cur_threads}) and {args.baseline} "
+              f"({base_threads})")
         return 1
 
     if args.normalize is not None:
         if args.normalize not in current or args.normalize not in baseline:
-            print(f"--normalize series '{args.normalize}' missing from "
-                  f"current ({sorted(current)}) or baseline "
+            print(f"[{args.figure}] --normalize series '{args.normalize}' "
+                  f"missing from current ({sorted(current)}) or baseline "
                   f"({sorted(baseline)})")
             return 1
         unit = f"x {args.normalize}"
     else:
-        unit = "Mops/s"
+        unit = "raw"
 
     def cell(series, name, t):
         v = series[name].get(t)
@@ -79,11 +95,11 @@ def main():
         return v / norm
 
     failures = []
-    print(f"(cells in {unit})")
+    print(f"[{args.figure}] (cells in {unit})")
     print(f"{'series':<18}{'threads':>8}{'baseline':>10}{'current':>10}"
           f"{'ratio':>8}  gate")
     for name in sorted(set(current) & set(baseline)):
-        gated = name.startswith("mq_")
+        gated = name.startswith(args.gate_prefix)
         for t in shared_threads:
             base = cell(baseline, name, t)
             cur = cell(current, name, t)
@@ -105,20 +121,23 @@ def main():
             print(f"{name:<18}{t:>8}{base:>10.2f}{cur:>10.2f}{ratio:>8.2f}"
                   f"  {verdict if gated else 'info'}")
 
-    missing = [n for n in baseline if n.startswith("mq_") and n not in current]
+    missing = [n for n in baseline
+               if n.startswith(args.gate_prefix) and n not in current]
     if missing:
-        print(f"baseline mq series missing from current run: {missing}")
+        print(f"[{args.figure}] baseline gated series missing from current "
+              f"run: {missing}")
         return 1
 
     if failures:
-        print(f"\nFAIL: {len(failures)} multi_queue cell(s) regressed more "
-              f"than {args.threshold:.0%}:")
+        print(f"\n[{args.figure}] FAIL: {len(failures)} gated cell(s) "
+              f"regressed more than {args.threshold:.0%}:")
         for name, t, base, cur, ratio in failures:
             print(f"  {name} @ {t} threads: {base:.2f} -> {cur:.2f} {unit} "
                   f"({ratio:.2f}x)")
         return 1
-    print(f"\nOK: all multi_queue cells within {args.threshold:.0%} of the "
-          f"baseline across threads={shared_threads}")
+    print(f"\n[{args.figure}] OK: all gated cells within "
+          f"{args.threshold:.0%} of the baseline across "
+          f"threads={shared_threads}")
     return 0
 
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fetch a DIMACS 9th-Implementation-Challenge road network for the
+# full-scale fig3 run. Default is California (USA-road-d.CAL), the graph
+# the paper's Figure 3 uses: ~1.9M nodes, ~4.7M arcs, ~75 MB unpacked.
+#
+# Usage:
+#   scripts/fetch_dimacs.sh [GRAPH] [DEST_DIR]
+#     GRAPH     e.g. USA-road-d.CAL (default), USA-road-d.NY, USA-road-d.USA
+#     DEST_DIR  where the .gr lands (default: data/)
+#
+# Then:
+#   PCQ_GRAPH=data/USA-road-d.CAL.gr PCQ_BENCH_FULL=1 ./build/bench_fig3_sssp
+#
+# .gr files are .gitignore'd — they are large, immutable upstream
+# artifacts; never commit them.
+
+set -euo pipefail
+
+graph="${1:-USA-road-d.CAL}"
+dest_dir="${2:-data}"
+# Road family is the token between "USA-road-d"/"USA-road-t" and the
+# region suffix: distance graphs live under USA-road-d/, time under
+# USA-road-t/.
+family="${graph%.*}"
+url="https://www.diag.uniroma1.it/challenge9/data/${family}/${graph}.gr.gz"
+
+mkdir -p "${dest_dir}"
+out="${dest_dir}/${graph}.gr"
+if [[ -s "${out}" ]]; then
+  echo "already have ${out}"
+  exit 0
+fi
+
+echo "fetching ${url}"
+if command -v curl > /dev/null; then
+  curl -fL --retry 3 -o "${out}.gz" "${url}"
+else
+  wget -O "${out}.gz" "${url}"
+fi
+gunzip -f "${out}.gz"
+echo "wrote ${out}"
+echo "run:  PCQ_GRAPH=${out} PCQ_BENCH_FULL=1 ./build/bench_fig3_sssp"

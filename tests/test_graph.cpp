@@ -1,0 +1,231 @@
+// Graph layer: CSR construction, DIMACS parsing, generators, sequential
+// Dijkstra on hand-checked graphs, and the headline invariant —
+// parallel_sssp produces distances EXACTLY equal to sequential Dijkstra
+// for every one of the five queue types, on both generator families,
+// single- and multi-threaded. Scales are TSan-friendly; build with
+// -DPCQ_SANITIZE=thread to make the equality runs real race checks.
+
+#include "graph/csr_graph.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "test_macros.hpp"
+#include "core/baselines/coarse_pq.hpp"
+#include "core/baselines/klsm_pq.hpp"
+#include "core/baselines/lj_skiplist_pq.hpp"
+#include "core/baselines/spray_pq.hpp"
+#include "core/multi_queue.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/generators.hpp"
+#include "graph/parallel_sssp.hpp"
+
+namespace {
+
+using namespace pcq::graph;
+
+// Diamond with a shortcut: 0->1 (2), 0->2 (5), 1->2 (1), 1->3 (7),
+// 2->3 (3), plus unreachable node 4. Shortest: d(0)=0 d(1)=2 d(2)=3
+// d(3)=6.
+csr_graph diamond() {
+  std::vector<csr_graph::edge> edges{
+      {0, 1, 2}, {0, 2, 5}, {1, 2, 1}, {1, 3, 7}, {2, 3, 3}};
+  return csr_graph::from_edges(5, edges);
+}
+
+template <typename Queue, typename MakeQueue>
+void check_sssp_equality(const csr_graph& g, std::size_t threads,
+                         MakeQueue make, const dijkstra_result& reference) {
+  auto queue = make(threads);
+  const auto stats = parallel_sssp(g, 0, threads, *queue);
+  CHECK(stats.distance.size() == reference.distance.size());
+  for (std::size_t i = 0; i < stats.distance.size(); ++i) {
+    CHECK(stats.distance[i] == reference.distance[i]);
+  }
+  CHECK(queue->size() == 0);  // termination drained every entry
+}
+
+template <typename MakeQueue>
+void check_all_graphs(MakeQueue make) {
+  // Sparse random digraph: irregular degrees, duplicate arcs possible,
+  // some nodes unreachable.
+  {
+    random_graph_params params;
+    params.nodes = 1500;
+    params.avg_degree = 4.0;
+    params.seed = 0x51u;
+    const csr_graph g = make_random_graph(params);
+    const auto reference = dijkstra(g, 0);
+    using queue_t =
+        typename std::decay<decltype(*make(1))>::type;
+    check_sssp_equality<queue_t>(g, 1, make, reference);
+    check_sssp_equality<queue_t>(g, 4, make, reference);
+  }
+  // Grid road network: huge diameter, the fig3 shape.
+  {
+    road_network_params params;
+    params.width = 24;
+    params.height = 24;
+    params.seed = 0x52u;
+    const csr_graph g = make_road_network(params);
+    const auto reference = dijkstra(g, 0);
+    using queue_t =
+        typename std::decay<decltype(*make(1))>::type;
+    check_sssp_equality<queue_t>(g, 4, make, reference);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // CSR construction keeps arcs grouped by tail in input order.
+  {
+    const csr_graph g = diamond();
+    CHECK(g.num_nodes() == 5);
+    CHECK(g.num_edges() == 5);
+    CHECK(g.degree(0) == 2);
+    CHECK(g.degree(1) == 2);
+    CHECK(g.degree(2) == 1);
+    CHECK(g.degree(3) == 0);
+    CHECK(g.degree(4) == 0);
+    const auto row = g.out(0);
+    CHECK(row.size() == 2);
+    CHECK(row.begin()[0].head == 1 && row.begin()[0].weight == 2);
+    CHECK(row.begin()[1].head == 2 && row.begin()[1].weight == 5);
+  }
+
+  // Sequential Dijkstra on the hand-checked diamond.
+  {
+    const auto result = dijkstra(diamond(), 0);
+    CHECK(result.distance[0] == 0);
+    CHECK(result.distance[1] == 2);
+    CHECK(result.distance[2] == 3);
+    CHECK(result.distance[3] == 6);
+    CHECK(result.distance[4] == kUnreachable);
+    CHECK(result.settled == 4);
+  }
+
+  // DIMACS round-trip: write the diamond in .gr form (1-indexed, with
+  // comments), parse it back, distances must match.
+  {
+    const char* path = "test_graph_tmp.gr";
+    std::FILE* f = std::fopen(path, "w");
+    CHECK(f != nullptr);
+    std::fputs("c diamond with shortcut\nc ", f);
+    // Comment far longer than the parser's read buffer: must be skipped
+    // as one logical line, not misparsed as a fresh record mid-overflow.
+    for (int i = 0; i < 600; ++i) std::fputc('x', f);
+    std::fputs("\np sp 5 5\n", f);
+    std::fputs("a 1 2 2\na 1 3 5\na 2 3 1\na 2 4 7\na 3 4 3\n", f);
+    std::fclose(f);
+    const csr_graph g = read_dimacs(path);
+    CHECK(g.num_nodes() == 5);
+    CHECK(g.num_edges() == 5);
+    const auto result = dijkstra(g, 0);
+    CHECK(result.distance[3] == 6);
+    CHECK(result.distance[4] == kUnreachable);
+    std::remove(path);
+  }
+
+  // DIMACS rejects garbage loudly instead of producing a half graph.
+  {
+    const char* path = "test_graph_tmp_bad.gr";
+    std::FILE* f = std::fopen(path, "w");
+    CHECK(f != nullptr);
+    std::fputs("p sp 3 1\na 1 9 4\n", f);  // endpoint out of range
+    std::fclose(f);
+    bool threw = false;
+    try {
+      read_dimacs(path);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+    std::remove(path);
+  }
+
+  // Road network generator: symmetric weights, deterministic in the
+  // seed, arc count matches the kept-undirected-edge count twice over.
+  {
+    road_network_params params;
+    params.width = 16;
+    params.height = 12;
+    const csr_graph g = make_road_network(params);
+    CHECK(g.num_nodes() == 16 * 12);
+    CHECK(g.num_edges() % 2 == 0);
+    CHECK(g.num_edges() > 0);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> weight;
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+      for (const auto& a : g.out(u)) {
+        CHECK(a.weight >= params.min_weight);
+        CHECK(a.weight <= params.max_weight);
+        weight[{u, a.head}] = a.weight;
+      }
+    }
+    for (const auto& kv : weight) {
+      const auto reverse =
+          weight.find({kv.first.second, kv.first.first});
+      CHECK(reverse != weight.end());
+      CHECK(reverse->second == kv.second);
+    }
+    const csr_graph again = make_road_network(params);
+    CHECK(again.num_edges() == g.num_edges());
+  }
+
+  // Random graph generator: exact arc count, no self loops.
+  {
+    random_graph_params params;
+    params.nodes = 200;
+    params.avg_degree = 3.0;
+    const csr_graph g = make_random_graph(params);
+    CHECK(g.num_nodes() == 200);
+    CHECK(g.num_edges() == 600);
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+      for (const auto& a : g.out(u)) CHECK(a.head != u);
+    }
+    // Degenerate orders: no arcs can exist, and the generator must
+    // return (not spin rejecting self-loops).
+    params.nodes = 1;
+    CHECK(make_random_graph(params).num_edges() == 0);
+    params.nodes = 0;
+    CHECK(make_random_graph(params).num_edges() == 0);
+  }
+
+  // parallel_sssp == sequential Dijkstra, for all five queue types.
+  check_all_graphs([](std::size_t threads) {
+    pcq::mq_config cfg;  // beta = 1, the classic MultiQueue
+    return std::make_unique<pcq::multi_queue<std::uint64_t, std::uint64_t>>(
+        cfg, threads);
+  });
+  check_all_graphs([](std::size_t threads) {
+    pcq::mq_config cfg;
+    cfg.beta = 0.5;  // the paper's (1+beta) relaxation
+    cfg.pop_batch = 4;  // and the buffered-pop configuration
+    return std::make_unique<pcq::multi_queue<std::uint64_t, std::uint64_t>>(
+        cfg, threads);
+  });
+  check_all_graphs([](std::size_t) {
+    return std::make_unique<pcq::klsm_pq<std::uint64_t, std::uint64_t>>(256);
+  });
+  check_all_graphs([](std::size_t threads) {
+    return std::make_unique<pcq::spray_pq<std::uint64_t, std::uint64_t>>(
+        threads);
+  });
+  check_all_graphs([](std::size_t) {
+    return std::make_unique<
+        pcq::lj_skiplist_pq<std::uint64_t, std::uint64_t>>();
+  });
+  check_all_graphs([](std::size_t) {
+    return std::make_unique<pcq::coarse_pq<std::uint64_t, std::uint64_t>>();
+  });
+
+  std::printf("test_graph OK\n");
+  return 0;
+}
