@@ -1,83 +1,222 @@
-// EXT-GRAPH — the paper's Section 6 future-work experiment, realized:
-// run the edge-choice process on graph topologies of varying expansion
-// and measure the rank guarantees. The complete graph reproduces the
-// two-choice process; the paper's framework predicts that good expanders
-// keep the O(n) average-rank bound while poorly-connected graphs (cycle)
-// and bottlenecked graphs (star) degrade.
+// EXT-GRAPH — the paper's scheduling story run on graph-structured task
+// processes (sim/graph_process.hpp): tasks are DAG nodes, a task is
+// released only when all predecessors settled, and every queue modeling
+// the handle concept schedules the ready set. Rank quality comes from
+// the same timed-replay oracle as everywhere else — the rank of a
+// settle is the number of READY tasks with smaller priority at that
+// instant — so the table directly compares how much each structure's
+// relaxation reorders a dependency-constrained workload:
+//
+//   - MultiQueue beta in {1.0, 0.5}: rank grows ~ O(#queues), throughput
+//     scales;
+//   - k-LSM / SprayList: their own bounded/randomized relaxation;
+//   - LJ skiplist / coarse heap: strict — inversions come ONLY from
+//     concurrency skew (zero at one thread, an exact scheduler).
+//
+// Workloads reuse PR 4's generators, DAG-ified by make_dag: a grid road
+// network (long dependency chains, tiny ready set — relaxation is
+// nearly free) and a random digraph (wide ready set — relaxation is
+// visible). Every cell is gated: a topological-invariant violation or a
+// lost task exits nonzero.
+//
+// Emits BENCH_ext_graph.json: threads sweep, one series per queue,
+// "mops" = million settled tasks per second on the grid DAG, plus
+// mean_rank / inversion_frac arrays for both workloads.
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "benchlib/bench_env.hpp"
+#include "benchlib/json_writer.hpp"
 #include "benchlib/table_printer.hpp"
+#include "core/baselines/coarse_pq.hpp"
+#include "core/baselines/klsm_pq.hpp"
+#include "core/baselines/lj_skiplist_pq.hpp"
+#include "core/baselines/spray_pq.hpp"
+#include "core/multi_queue.hpp"
+#include "graph/generators.hpp"
 #include "sim/graph_process.hpp"
 
 namespace {
 
+using namespace pcq;
 using namespace pcq::bench;
 using namespace pcq::sim;
+using pcq::graph::csr_graph;
 
-struct topo_result {
-  double mean = 0.0;
-  double max = 0.0;
-  double late_mean = 0.0;  ///< last-window mean: detects divergence
+struct cell {
+  double mops = 0.0;       ///< million settled tasks / second
+  double mean_rank = 0.0;
+  double inversion_frac = 0.0;
 };
 
-topo_result run_topology(const choice_graph& graph, std::size_t removals,
-                         std::uint64_t seed) {
-  process_config cfg;
-  cfg.num_bins = graph.num_vertices;
-  cfg.num_labels = 2 * removals;
-  cfg.num_removals = removals;
-  cfg.seed = seed;
-  cfg.window = removals / 8;
-  graph_process p(graph, cfg);
-  p.run();
-  topo_result r;
-  r.mean = p.costs().mean_rank();
-  r.max = static_cast<double>(p.costs().max_rank());
-  r.late_mean = p.costs().windows().empty()
-                    ? r.mean
-                    : p.costs().windows().back().mean_rank;
-  return r;
+template <typename MakeQueue>
+cell measure(const csr_graph& dag, std::size_t threads, MakeQueue make) {
+  auto queue = make(threads);
+  const auto res = run_graph_process(dag, threads, *queue);
+  if (!res.topo_ok || res.settled != dag.num_nodes()) {
+    std::fprintf(stderr,
+                 "TASK-PROCESS VIOLATION: topo_ok=%d settled=%llu of %u\n",
+                 res.topo_ok ? 1 : 0,
+                 static_cast<unsigned long long>(res.settled),
+                 dag.num_nodes());
+    std::exit(1);
+  }
+  cell c;
+  c.mops = res.seconds > 0.0
+               ? static_cast<double>(res.settled) / res.seconds / 1e6
+               : 0.0;
+  c.mean_rank = res.ranks.rank_stats.mean();
+  c.inversion_frac =
+      res.ranks.deletions > 0
+          ? static_cast<double>(res.ranks.inversions) /
+                static_cast<double>(res.ranks.deletions)
+          : 0.0;
+  return c;
 }
 
 }  // namespace
 
 int main() {
-  const std::size_t n = 64;
-  const std::size_t removals = scaled<std::size_t>(1u << 17, 1u << 21);
+  const auto grid_side = scaled<std::uint32_t>(64, 256);
+  const auto random_nodes = scaled<std::uint32_t>(4096, 262144);
 
-  print_header("EXT-GRAPH: edge-choice process across topologies (n = 64)",
-               "Section 6 future work: expansion controls the rank "
-               "guarantee; complete graph == two-(distinct-)choice process");
+  graph::road_network_params grid_params;
+  grid_params.width = grid_side;
+  grid_params.height = grid_side;
+  grid_params.seed = 0x657874u;  // "ext"
+  const csr_graph grid_dag = make_dag(make_road_network(grid_params));
 
-  table_printer table({"topology", "edges", "mean_rank", "mean/n",
-                       "late_mean", "max_rank"});
+  graph::random_graph_params rnd_params;
+  rnd_params.nodes = random_nodes;
+  rnd_params.avg_degree = 4.0;
+  rnd_params.seed = 0x657875u;
+  const csr_graph rnd_dag = make_dag(make_random_graph(rnd_params));
 
-  struct named_graph {
-    const char* name;
-    choice_graph graph;
+  print_header(
+      "EXT-GRAPH: DAG task process across all five queues",
+      "settled Mtasks/s, replayed mean rank, and inversion fraction; "
+      "strict queues at 1 thread are exact schedulers (0 inversions)");
+  std::printf("grid DAG: %u tasks, %llu deps; random DAG: %u tasks, %llu "
+              "deps\n",
+              grid_dag.num_nodes(),
+              static_cast<unsigned long long>(grid_dag.num_edges()),
+              rnd_dag.num_nodes(),
+              static_cast<unsigned long long>(rnd_dag.num_edges()));
+
+  using queue_key = std::uint64_t;
+  const std::vector<std::string> series_names{
+      "mq_b1.0", "mq_b0.5", "klsm256", "spraylist", "lj_skiplist",
+      "coarse"};
+  const auto make_mq = [](double beta) {
+    return [beta](std::size_t threads) {
+      mq_config cfg;
+      cfg.beta = beta;
+      return std::make_unique<multi_queue<queue_key, queue_key>>(cfg,
+                                                                 threads);
+    };
   };
-  std::vector<named_graph> graphs;
-  graphs.push_back({"complete", make_complete_graph(n)});
-  graphs.push_back({"hypercube", make_hypercube_graph(6)});
-  graphs.push_back({"rand-3reg", make_random_regular_graph(n, 3, 7)});
-  graphs.push_back({"rand-1reg", make_random_regular_graph(n, 1, 8)});
-  graphs.push_back({"cycle", make_cycle_graph(n)});
-  graphs.push_back({"star", make_star_graph(n)});
 
-  for (std::size_t i = 0; i < graphs.size(); ++i) {
-    const auto r = run_topology(graphs[i].graph, removals, 100 + i);
-    std::printf("[%s]\n", graphs[i].name);
-    table.row({static_cast<double>(i),
-               static_cast<double>(graphs[i].graph.edges.size()), r.mean,
-               r.mean / static_cast<double>(n), r.late_mean, r.max});
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t t = 1; t <= max_threads(); t *= 2) {
+    thread_counts.push_back(t);
   }
 
+  // results[workload][series][thread index]
+  std::vector<std::vector<std::vector<cell>>> results(
+      2, std::vector<std::vector<cell>>(series_names.size()));
+  const csr_graph* dags[2] = {&grid_dag, &rnd_dag};
+  const char* dag_names[2] = {"grid", "random"};
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    print_header(std::string("EXT-GRAPH: ") + dag_names[w] + " DAG",
+                 "per thread count: Mtasks/s | mean rank | inversion "
+                 "fraction");
+    table_printer table([&] {
+      std::vector<std::string> columns{"threads", "metric"};
+      columns.insert(columns.end(), series_names.begin(),
+                     series_names.end());
+      return columns;
+    }());
+    for (const std::size_t t : thread_counts) {
+      std::size_t s = 0;
+      const auto record = [&](cell c) { results[w][s++].push_back(c); };
+      record(measure(*dags[w], t, make_mq(1.0)));
+      record(measure(*dags[w], t, make_mq(0.5)));
+      record(measure(*dags[w], t, [](std::size_t) {
+        return std::make_unique<klsm_pq<queue_key, queue_key>>(256);
+      }));
+      record(measure(*dags[w], t, [](std::size_t threads) {
+        return std::make_unique<spray_pq<queue_key, queue_key>>(threads);
+      }));
+      record(measure(*dags[w], t, [](std::size_t) {
+        return std::make_unique<lj_skiplist_pq<queue_key, queue_key>>();
+      }));
+      record(measure(*dags[w], t, [](std::size_t) {
+        return std::make_unique<coarse_pq<queue_key, queue_key>>();
+      }));
+      for (int metric = 0; metric < 3; ++metric) {
+        std::vector<double> row{static_cast<double>(t),
+                                static_cast<double>(metric)};
+        for (std::size_t i = 0; i < series_names.size(); ++i) {
+          const cell& c = results[w][i].back();
+          row.push_back(metric == 0 ? c.mops
+                                    : metric == 1 ? c.mean_rank
+                                                  : c.inversion_frac);
+        }
+        table.row(row);
+      }
+    }
+  }
+
+  const std::string json_path = json_artifact_path("BENCH_ext_graph.json");
+  json_writer json(json_path);
+  json.begin_object()
+      .kv("bench", "ext_graph_process")
+      .kv("unit",
+          "mops = million settled tasks per second on the grid DAG")
+      .kv("full_scale", full_scale())
+      .kv("grid_tasks", static_cast<std::size_t>(grid_dag.num_nodes()))
+      .kv("grid_deps", static_cast<std::size_t>(grid_dag.num_edges()))
+      .kv("random_tasks", static_cast<std::size_t>(rnd_dag.num_nodes()))
+      .kv("random_deps", static_cast<std::size_t>(rnd_dag.num_edges()));
+  json.key("threads").begin_array();
+  for (const std::size_t t : thread_counts) json.value(t);
+  json.end_array();
+  json.key("series").begin_array();
+  for (std::size_t i = 0; i < series_names.size(); ++i) {
+    json.begin_object().kv("name", series_names[i]);
+    const auto emit = [&json](const char* key,
+                              const std::vector<cell>& cells, int metric) {
+      json.key(key).begin_array();
+      for (const cell& c : cells) {
+        json.value(metric == 0 ? c.mops
+                               : metric == 1 ? c.mean_rank
+                                             : c.inversion_frac);
+      }
+      json.end_array();
+    };
+    emit("mops", results[0][i], 0);
+    emit("grid_mean_rank", results[0][i], 1);
+    emit("grid_inversion_frac", results[0][i], 2);
+    emit("random_mops", results[1][i], 0);
+    emit("random_mean_rank", results[1][i], 1);
+    emit("random_inversion_frac", results[1][i], 2);
+    json.end_object();
+  }
+  json.end_array().end_object();
+  std::printf("\n%s %s\n", json.ok() ? "wrote" : "FAILED to write",
+              json_path.c_str());
+
   std::printf(
-      "\nexpected: complete/hypercube/random-regular all O(n) and flat "
-      "(late ~ overall);\ncycle and star visibly worse — expansion is what "
-      "buys the bound.\n");
+      "expected: strict queues (lj, coarse) show 0 inversions at 1 thread "
+      "and concurrency-skew inversions above;\nrelaxed queues trade "
+      "inversions (mq ~ O(#queues) mean rank on the wide random DAG) for "
+      "scaling; the narrow grid DAG keeps every queue nearly exact.\n");
   return 0;
 }

@@ -62,12 +62,14 @@ struct replay_report {
   std::uint64_t unmatched = 0;    ///< removes of keys not present (bug smell)
 };
 
-/// Merges per-thread logs by timestamp and replays them through a rank
-/// oracle over the coordinate-compressed key domain.
-inline replay_report replay_ranks(const std::vector<event_log>& logs) {
+/// Merges per-thread logs into one history ordered by linearization
+/// timestamp — the ONE definition of replay order, shared by the
+/// aggregate replay below and the trace-shaped replay in
+/// sim/rank_equivalence.hpp (a diverging tie-break rule would make the
+/// two replays disagree about the same history).
+inline std::vector<mq_event> merge_events(const std::vector<event_log>& logs) {
   std::size_t total = 0;
   for (const auto& log : logs) total += log.size();
-
   std::vector<mq_event> merged;
   merged.reserve(total);
   for (const auto& log : logs) {
@@ -77,6 +79,13 @@ inline replay_report replay_ranks(const std::vector<event_log>& logs) {
             [](const mq_event& a, const mq_event& b) {
               return a.timestamp < b.timestamp;
             });
+  return merged;
+}
+
+/// Merges per-thread logs by timestamp and replays them through a rank
+/// oracle over the coordinate-compressed key domain.
+inline replay_report replay_ranks(const std::vector<event_log>& logs) {
+  const std::vector<mq_event> merged = merge_events(logs);
 
   std::vector<std::uint64_t> keys;
   keys.reserve(merged.size());

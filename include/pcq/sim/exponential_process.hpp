@@ -1,0 +1,156 @@
+// The exponential-potential process behind Theorem 3's supermartingale
+// argument (the Peres–Talwar–Wieder machinery the paper leans on).
+//
+// Abstraction: x_i(t) counts the removals queue i has served by step t
+// (Appendix A reduces removal counts to balls into bins). Each step one
+// bin is incremented:
+//   - with probability beta, by the (1+beta)/d rule — sample d distinct
+//     bins uniformly and increment the LEAST loaded (choice rebalances);
+//   - otherwise by a single sample from a gamma-biased distribution
+//     (bias_kind::linear_ramp / two_block, magnitude gamma — the
+//     adversarial drift of Section 3; uniform when gamma = 0).
+//
+// With y_i(t) = x_i(t) - t/q the deviation from the exact mean, the
+// two-sided potential is
+//
+//   Gamma(t) = Phi(t) + Psi(t),
+//   Phi = sum_i e^{alpha y_i},  Psi = sum_i e^{-alpha y_i}.
+//
+// Theorem 3's shape: for beta = Omega(gamma) there is C(epsilon) with
+// E[Gamma(t)] <= C * q at EVERY t — the potential is a supermartingale
+// above C*q, so sampled Gamma(t)/q traces sit flat and O(1), which
+// immediately bounds the maximum deviation: max_i |y_i| <=
+// ln(Gamma)/alpha = O(log q)/alpha w.h.p., i.e. O(q log q) total
+// divergence across the q queues. With beta = 0 the choice term is gone:
+// uniform sampling alone drifts as sqrt(t) (gamma = 0) or linearly
+// (gamma > 0) and Gamma explodes — the divergent contrast column in
+// bench_thm3_potential.
+//
+// The process is a pure function of its config (one xoshiro stream, no
+// time, no threads), so every trace — including the committed CI
+// baseline — is exactly reproducible.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/label_process.hpp"  // bias_kind
+#include "util/discrete_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace pcq {
+namespace sim {
+
+struct exp_process_config {
+  std::size_t num_bins = 64;  ///< q
+  double beta = 1.0;   ///< probability a step uses the d-choice rule
+  std::size_t choices = 2;  ///< d; clamped to [1, q]
+  double gamma = 0.0;  ///< bias magnitude of the no-choice distribution
+  bias_kind bias = bias_kind::none;
+  double alpha = 0.25;  ///< potential exponent (paper: Theta(beta))
+  std::size_t num_steps = 1u << 17;
+  /// Steps between potential samples (0: only the final state).
+  std::size_t sample_every = 1u << 14;
+  std::uint64_t seed = 1;
+};
+
+struct potential_sample {
+  std::uint64_t step = 0;  ///< t at sampling time (1-based)
+  double phi = 0.0;        ///< sum e^{+alpha y_i}
+  double psi = 0.0;        ///< sum e^{-alpha y_i}
+  double potential = 0.0;  ///< Gamma = phi + psi
+  double max_dev = 0.0;    ///< max_i |x_i - t/q|
+  std::uint64_t gap = 0;   ///< max_i x_i - min_i x_i
+};
+
+class exponential_process {
+ public:
+  explicit exponential_process(const exp_process_config& config)
+      : config_(config),
+        rng_(config.seed),
+        loads_(config.num_bins > 0 ? config.num_bins : 1, 0) {
+    if (config_.num_bins == 0) config_.num_bins = 1;
+    if (config_.choices < 1) config_.choices = 1;
+    if (config_.choices > config_.num_bins) config_.choices = config_.num_bins;
+    choice_scratch_.resize(config_.choices);
+    if (config_.bias != bias_kind::none && config_.gamma > 0.0) {
+      bias_sampler_.reset(new alias_table(
+          bias_weights(config_.bias, config_.gamma, config_.num_bins)));
+    }
+  }
+
+  void run() {
+    for (std::uint64_t t = 1; t <= config_.num_steps; ++t) {
+      ++loads_[pick_bin()];
+      if (config_.sample_every != 0 && t % config_.sample_every == 0) {
+        samples_.push_back(measure(t));
+      }
+    }
+    if (samples_.empty() || samples_.back().step != config_.num_steps) {
+      samples_.push_back(measure(config_.num_steps));
+    }
+  }
+
+  const std::vector<potential_sample>& samples() const { return samples_; }
+  const std::vector<std::uint64_t>& loads() const { return loads_; }
+
+  /// The flat-trace reference level: a perfectly balanced system
+  /// (all y_i = 0) has Gamma = 2q; bounded runs hover within a small
+  /// constant factor of it.
+  double balanced_potential() const {
+    return 2.0 * static_cast<double>(config_.num_bins);
+  }
+
+ private:
+  std::size_t pick_bin() {
+    const std::size_t q = config_.num_bins;
+    if (config_.choices >= 2 && q >= 2 && rng_.bernoulli(config_.beta)) {
+      const std::size_t d = choice_scratch_.size();
+      sample_distinct(rng_, q, d, choice_scratch_.data());
+      std::size_t best = choice_scratch_[0];
+      for (std::size_t i = 1; i < d; ++i) {
+        if (loads_[choice_scratch_[i]] < loads_[best]) {
+          best = choice_scratch_[i];
+        }
+      }
+      return best;
+    }
+    if (bias_sampler_) return bias_sampler_->sample(rng_);
+    return rng_.bounded(q);
+  }
+
+  potential_sample measure(std::uint64_t t) const {
+    const std::size_t q = config_.num_bins;
+    const double mean =
+        static_cast<double>(t) / static_cast<double>(q);
+    potential_sample s;
+    s.step = t;
+    std::uint64_t lo = loads_[0], hi = loads_[0];
+    for (const std::uint64_t x : loads_) {
+      const double y = static_cast<double>(x) - mean;
+      s.phi += std::exp(config_.alpha * y);
+      s.psi += std::exp(-config_.alpha * y);
+      const double dev = y < 0 ? -y : y;
+      if (dev > s.max_dev) s.max_dev = dev;
+      if (x < lo) lo = x;
+      if (x > hi) hi = x;
+    }
+    s.potential = s.phi + s.psi;
+    s.gap = hi - lo;
+    return s;
+  }
+
+  exp_process_config config_;
+  xoshiro256ss rng_;
+  std::vector<std::uint64_t> loads_;  ///< x_i: increments served by bin i
+  std::vector<std::size_t> choice_scratch_;
+  std::unique_ptr<alias_table> bias_sampler_;
+  std::vector<potential_sample> samples_;
+};
+
+}  // namespace sim
+}  // namespace pcq

@@ -40,6 +40,33 @@ enum class bias_kind {
   two_block,    ///< first half weight 1 + gamma, second half 1 - gamma
 };
 
+/// Per-bin weights of a gamma-biased distribution over n bins — the one
+/// definition of the Section 3 bias shapes, shared by label_process and
+/// exponential_process (negative weights clamp to 0; n == 1 degenerates
+/// to uniform).
+inline std::vector<double> bias_weights(bias_kind bias, double gamma,
+                                        std::size_t n) {
+  std::vector<double> weights(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double w = 1.0;
+    switch (bias) {
+      case bias_kind::none:
+        break;
+      case bias_kind::linear_ramp:
+        w = 1.0 + gamma * (n > 1 ? 2.0 * static_cast<double>(i) /
+                                           static_cast<double>(n - 1) -
+                                       1.0
+                                 : 0.0);
+        break;
+      case bias_kind::two_block:
+        w = i < n / 2 ? 1.0 + gamma : 1.0 - gamma;
+        break;
+    }
+    weights[i] = w < 0.0 ? 0.0 : w;
+  }
+  return weights;
+}
+
 enum class removal_policy {
   choice,                ///< the paper's (1+beta)/d-choice rule
   own_queue_round_robin, ///< Karp-Zhang [20]: bin (step mod n), no choice
@@ -62,6 +89,7 @@ struct process_config {
   std::size_t num_removals = 1u << 15;  ///< removals performed by run()
   std::uint64_t seed = 1;
   std::size_t window = 0;  ///< 0: no windowed stats; else removals/window
+  bool record_trace = false;  ///< keep the per-removal rank sequence
 };
 
 struct window_stat {
@@ -77,7 +105,13 @@ class cost_trace {
  public:
   explicit cost_trace(std::size_t window = 0) : window_(window) {}
 
+  /// Keep the full per-removal rank sequence (off by default: benches at
+  /// paper scale only need the aggregates). sim/rank_equivalence.hpp
+  /// turns it on for trace-level comparison against the real MultiQueue.
+  void enable_trace() { record_trace_ = true; }
+
   void add(std::uint64_t rank) {
+    if (record_trace_) trace_.push_back(rank);
     sum_ += rank;
     ++count_;
     if (rank > max_) max_ = rank;
@@ -101,6 +135,10 @@ class cost_trace {
   std::uint64_t num_removals() const { return count_; }
   const std::vector<window_stat>& windows() const { return windows_; }
 
+  /// Per-removal ranks in removal order; empty unless enable_trace() was
+  /// called before the run.
+  const std::vector<std::uint64_t>& trace() const { return trace_; }
+
  private:
   void flush_window() {
     window_stat w;
@@ -122,6 +160,8 @@ class cost_trace {
   std::size_t window_count_ = 0;
   std::uint64_t window_max_ = 0;
   std::vector<window_stat> windows_;
+  bool record_trace_ = false;
+  std::vector<std::uint64_t> trace_;
 };
 
 class label_process {
@@ -132,12 +172,14 @@ class label_process {
         bins_(config.num_bins),
         removals_from_(config.num_bins, 0),
         costs_(config.window) {
+    if (config_.record_trace) costs_.enable_trace();
     if (config_.choices < 1) config_.choices = 1;
     choice_scratch_.resize(config_.choices < config_.num_bins
                                ? config_.choices
                                : config_.num_bins);
     if (config_.bias != bias_kind::none && config_.gamma > 0.0) {
-      bias_sampler_.reset(new alias_table(build_bias_weights()));
+      bias_sampler_.reset(new alias_table(
+          bias_weights(config_.bias, config_.gamma, config_.num_bins)));
     }
   }
 
@@ -192,30 +234,6 @@ class label_process {
  private:
   void prepare_oracle(std::size_t domain) {
     oracle_.reset(new rank_oracle(domain));
-  }
-
-  std::vector<double> build_bias_weights() const {
-    const std::size_t n = config_.num_bins;
-    std::vector<double> weights(n, 1.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      double w = 1.0;
-      switch (config_.bias) {
-        case bias_kind::none:
-          break;
-        case bias_kind::linear_ramp:
-          w = 1.0 + config_.gamma *
-                        (n > 1 ? 2.0 * static_cast<double>(i) /
-                                         static_cast<double>(n - 1) -
-                                     1.0
-                               : 0.0);
-          break;
-        case bias_kind::two_block:
-          w = i < n / 2 ? 1.0 + config_.gamma : 1.0 - config_.gamma;
-          break;
-      }
-      weights[i] = w < 0.0 ? 0.0 : w;
-    }
-    return weights;
   }
 
   std::size_t pick_insertion_bin() {

@@ -4,7 +4,7 @@
 Usage:
     check_fig1_regression.py CURRENT.json BASELINE.json
         [--figure fig1] [--threshold 0.30] [--normalize coarse]
-        [--gate-prefix mq_]
+        [--gate-prefix mq_] [--two-sided]
 
 Works for any BENCH_<figure>.json produced by benchlib/json_writer.hpp
 with the shape {threads: [...], series: [{name, mops: [...]}]} — fig1
@@ -16,6 +16,10 @@ figure).
 Compares every gated series (names starting with --gate-prefix, default
 "mq_") at every thread count present in both files and fails (exit 1)
 if any current cell is more than --threshold below the baseline cell.
+With --two-sided a cell more than --threshold ABOVE baseline fails too
+— for deterministic benches (thm3's seeded potential process), any
+movement means the process changed and the baseline must be regenerated
+deliberately, improvements included.
 Non-gated series (the skiplist/k-LSM/coarse competitors) are reported
 but never gate: they exist for comparison, not as a perf contract.
 
@@ -62,6 +66,10 @@ def main():
     parser.add_argument("--gate-prefix", default="mq_",
                         help="series whose names start with this prefix gate; "
                              "the rest are informational")
+    parser.add_argument("--two-sided", action="store_true",
+                        help="also fail on cells above baseline (for "
+                             "deterministic benches, where any movement "
+                             "means the process changed)")
     args = parser.parse_args()
 
     cur_threads, current = load_series(args.current)
@@ -115,8 +123,9 @@ def main():
                 continue
             ratio = cur / base
             verdict = "ok"
-            if gated and ratio < 1.0 - args.threshold:
-                verdict = "REGRESSION"
+            if gated and (ratio < 1.0 - args.threshold or
+                          (args.two_sided and ratio > 1.0 + args.threshold)):
+                verdict = "REGRESSION" if ratio < 1.0 else "DRIFT"
                 failures.append((name, t, base, cur, ratio))
             print(f"{name:<18}{t:>8}{base:>10.2f}{cur:>10.2f}{ratio:>8.2f}"
                   f"  {verdict if gated else 'info'}")
@@ -129,8 +138,9 @@ def main():
         return 1
 
     if failures:
+        moved = "moved" if args.two_sided else "regressed"
         print(f"\n[{args.figure}] FAIL: {len(failures)} gated cell(s) "
-              f"regressed more than {args.threshold:.0%}:")
+              f"{moved} more than {args.threshold:.0%}:")
         for name, t, base, cur, ratio in failures:
             print(f"  {name} @ {t} threads: {base:.2f} -> {cur:.2f} {unit} "
                   f"({ratio:.2f}x)")
