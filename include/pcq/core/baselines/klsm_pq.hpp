@@ -95,8 +95,12 @@ class klsm_pq {
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
+      // Ticket BEFORE the insert (see lj_skiplist_pq): a k-bound flush
+      // inside push() can publish this element mid-call, and a racing
+      // consumer's remove ticket must order after the insert's.
+      const std::uint64_t ts = queue_->tick();
       push(key, value);
-      return queue_->tick();
+      return ts;
     }
 
     /// n inserts as ONE pre-sorted LSM block (then the usual equal-size

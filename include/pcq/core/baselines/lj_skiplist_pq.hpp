@@ -72,8 +72,14 @@ class lj_skiplist_pq {
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
+      // Ticket BEFORE the insert linearizes: a racing consumer draws its
+      // remove ticket only after claiming the element — after it became
+      // visible — so on the shared clock the remove always orders after
+      // this insert and the timestamp-merged replay never sees an
+      // unmatched remove. (Drawing after the insert loses that race.)
+      const std::uint64_t ts = queue_->tick();
       queue_->list_.insert(rh_, rng_, key, value);
-      return queue_->tick();
+      return ts;
     }
 
     /// n inserts under one epoch pin.

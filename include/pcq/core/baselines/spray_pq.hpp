@@ -81,8 +81,12 @@ class spray_pq {
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
+      // Ticket BEFORE the insert linearizes (see lj_skiplist_pq): keeps
+      // a racing consumer's remove ticket ordered after this insert, so
+      // replayed removes always match.
+      const std::uint64_t ts = queue_->tick();
       queue_->list_.insert(rh_, rng_, key, value);
-      return queue_->tick();
+      return ts;
     }
 
     /// n inserts under one epoch pin.

@@ -46,6 +46,12 @@
 // `push_timed` / `try_pop_timed` draw a global timestamp at (or near)
 // the operation's linearization point for offline rank replay — see
 // core/rank_recorder.hpp. Detected separately by `has_timed_api`.
+// Replay-matching contract: an insert's ticket must order BEFORE the
+// ticket of any remove that returns the element. Queues whose ticket
+// draw cannot share the insert's critical section draw it before the
+// insert linearizes (the consumer draws after its claim, so the shared
+// clock orders them); drawing after the insert loses that race and the
+// timestamp-merged replay reports unmatched removes.
 //
 // std::numeric_limits<Key>::max() is reserved repo-wide as the empty-top
 // sentinel; never insert it.

@@ -1,0 +1,249 @@
+// The worker-pool server: runs an open-loop trace through a dispatcher
+// and records per-request wait / service / sojourn times.
+//
+// Two runners share the dispatcher concept (service/dispatch.hpp):
+//
+//   run_service_virtual — single-threaded discrete-event simulation in
+//     VIRTUAL time. Deterministic by construction (event order is a pure
+//     function of the trace and the dispatcher's seeded decisions), so
+//     the test suite can assert EXACT completion orders and EXACT
+//     latency summaries: EDF through a strict queue is the
+//     earliest-deadline schedule, FCFS is arrival order, a MultiQueue
+//     with d = #queues degenerates to strict and must match EDF
+//     trace-for-trace.
+//
+//   run_service_realtime — real threads against the wall clock. One
+//     arrival thread paces the trace (open-loop: it never waits for
+//     completions), worker threads fetch and "execute" requests by
+//     spinning out the service demand, and every record lands in a
+//     per-worker log — plain vectors with no sharing, the lock-free way
+//     to log when each writer owns its shard. This is the measured path
+//     of bench_service and the TSan target (dispatch/fetch race by
+//     design).
+//
+// Virtual-time event rules (the determinism contract the tests pin):
+//   1. Events are processed in time order; at equal times COMPLETIONS
+//      precede ARRIVALS (a freed worker is visible to the arrival's
+//      fetch round), and simultaneous completions resolve by lowest
+//      worker index.
+//   2. After every event, idle workers fetch in worker-index order
+//      until their fetch fails; a request fetched at time t starts at t
+//      (wait = t − arrival) and completes at t + service.
+//   3. The dispatcher is sealed immediately after the last arrival is
+//      dispatched (flushing any dispatch-side buffering, e.g. k-LSM
+//      local blocks — without this a buffering queue could strand the
+//      tail of the trace invisibly and the simulation could not drain).
+//
+// Termination everywhere is by completion COUNT, never by a failed
+// fetch: emptiness is relaxed all the way down (core/pq_handle.hpp), so
+// "looked empty" proves nothing while requests remain. Every trace
+// request is dispatched exactly once and finite, so the count is reached.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "service/workload.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace pcq {
+namespace service {
+
+/// One completed request, as its worker saw it.
+struct request_record {
+  std::uint64_t seq = 0;
+  double arrival = 0.0;
+  double start = 0.0;       ///< fetch instant: wait = start − arrival
+  double completion = 0.0;  ///< sojourn = completion − arrival
+  double service = 0.0;     ///< the demanded service time
+};
+
+struct service_result {
+  std::uint64_t completed = 0;
+  double seconds = 0.0;  ///< makespan: last completion (virtual) or wall
+  std::vector<std::vector<request_record>> worker_logs;  ///< shard per worker
+  /// Virtual runner only: seq of every request in completion order (the
+  /// deterministic object the exact-order tests assert on).
+  std::vector<std::uint64_t> completion_order;
+};
+
+/// Merges the per-worker shards into exact mergeable summaries — the
+/// sorted-merge path of util/stats.hpp's latency_summary, so these equal
+/// the percentiles of the concatenated sample sets bit-for-bit.
+struct latency_report {
+  latency_summary sojourn;
+  latency_summary wait;
+  latency_summary service;
+};
+
+inline latency_report summarize(const service_result& result) {
+  latency_report report;
+  for (const auto& shard : result.worker_logs) {
+    latency_summary sojourn, wait, service;
+    for (const request_record& r : shard) {
+      sojourn.add(r.completion - r.arrival);
+      wait.add(r.start - r.arrival);
+      service.add(r.service);
+    }
+    report.sojourn.merge(sojourn);
+    report.wait.merge(wait);
+    report.service.merge(service);
+  }
+  return report;
+}
+
+/// Deterministic single-threaded discrete-event run in virtual time.
+/// The trace must be sorted by arrival (make_open_loop_trace's output
+/// is; hand-built test traces are by construction).
+template <typename Dispatcher>
+service_result run_service_virtual(const std::vector<request>& trace,
+                                   Dispatcher& dispatcher,
+                                   std::size_t workers) {
+  constexpr double kIdle = std::numeric_limits<double>::infinity();
+  constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+
+  service_result result;
+  result.worker_logs.resize(workers);
+  result.completion_order.reserve(trace.size());
+
+  std::vector<double> busy_until(workers, kIdle);
+  std::vector<double> started(workers, 0.0);
+  std::vector<std::uint64_t> running(workers, kNone);
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  const auto start_idle_workers = [&] {
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (running[w] != kNone) continue;
+      std::uint64_t seq = 0;
+      if (!dispatcher.fetch(w, seq)) continue;
+      running[w] = seq;
+      started[w] = now;
+      busy_until[w] = now + trace[seq].service;
+    }
+  };
+
+  while (result.completed < trace.size()) {
+    // Earliest completion (ties: lowest worker index) vs next arrival;
+    // completions win ties so freed workers see the arrival's fetch.
+    std::size_t cw = workers;
+    double ct = kIdle;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (running[w] != kNone && busy_until[w] < ct) {
+        ct = busy_until[w];
+        cw = w;
+      }
+    }
+    const double at =
+        next_arrival < trace.size() ? trace[next_arrival].arrival : kIdle;
+
+    // No runnable event: every worker idle, no arrivals left, and every
+    // fetch already failed after the previous event. A conforming
+    // dispatcher cannot get here (sealing flushed all buffering); return
+    // short so a buggy one fails its test on the completion count
+    // instead of spinning forever.
+    if (cw == workers && next_arrival == trace.size()) break;
+
+    if (cw < workers && ct <= at) {
+      now = ct;
+      const request& r = trace[running[cw]];
+      request_record rec;
+      rec.seq = r.seq;
+      rec.arrival = r.arrival;
+      rec.start = started[cw];
+      rec.completion = now;
+      rec.service = r.service;
+      result.worker_logs[cw].push_back(rec);
+      result.completion_order.push_back(r.seq);
+      ++result.completed;
+      running[cw] = kNone;
+      busy_until[cw] = kIdle;
+    } else {
+      now = at;
+      dispatcher.dispatch(trace[next_arrival]);
+      ++next_arrival;
+      if (next_arrival == trace.size()) dispatcher.seal();
+    }
+    start_idle_workers();
+  }
+  result.seconds = now;
+  return result;
+}
+
+/// Real-time open-loop run: one arrival thread paces the trace against
+/// the wall clock (yielding while far from the next arrival, spinning
+/// the last stretch), `workers` worker threads fetch and spin out each
+/// request's service demand. Trace times are wall seconds — generate
+/// traces whose span fits the time you are willing to measure.
+template <typename Dispatcher>
+service_result run_service_realtime(const std::vector<request>& trace,
+                                    Dispatcher& dispatcher,
+                                    std::size_t workers) {
+  service_result result;
+  result.worker_logs.resize(workers);
+
+  std::atomic<std::uint64_t> completed{0};
+  const std::uint64_t total = trace.size();
+  wall_timer clock;  // the one epoch every thread measures against
+
+  std::thread arrivals([&] {
+    for (const request& r : trace) {
+      while (true) {
+        const double gap = r.arrival - clock.elapsed_seconds();
+        if (gap <= 0.0) break;
+        if (gap > 100e-6) {
+          std::this_thread::yield();
+        } else {
+          cpu_relax();
+        }
+      }
+      dispatcher.dispatch(r);
+    }
+    dispatcher.seal();
+  });
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      auto& log = result.worker_logs[w];
+      backoff bo;
+      while (completed.load(std::memory_order_acquire) < total) {
+        std::uint64_t seq = 0;
+        if (!dispatcher.fetch(w, seq)) {
+          bo.pause();
+          continue;
+        }
+        bo.reset();
+        const request& r = trace[seq];
+        const double start = clock.elapsed_seconds();
+        const double until = start + r.service;
+        while (clock.elapsed_seconds() < until) cpu_relax();
+        request_record rec;
+        rec.seq = seq;
+        rec.arrival = r.arrival;
+        rec.start = start;
+        rec.completion = clock.elapsed_seconds();
+        rec.service = r.service;
+        log.push_back(rec);
+        completed.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  arrivals.join();
+  for (auto& t : pool) t.join();
+  result.completed = completed.load();
+  result.seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace service
+}  // namespace pcq

@@ -58,18 +58,110 @@ class running_stats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+namespace detail {
+
+/// Quantile with linear interpolation between order statistics, over an
+/// ALREADY SORTED range — the one interpolation rule shared by
+/// `percentile` and `latency_summary` (a second rule would make a merged
+/// summary disagree with the percentile of the concatenated samples).
+inline double sorted_quantile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace detail
+
 /// p-th quantile (p in [0, 1]) with linear interpolation between order
 /// statistics. Takes a copy: callers keep their sample order.
 inline double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  if (p <= 0.0) return values.front();
-  if (p >= 1.0) return values.back();
-  const double pos = p * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= values.size()) return values.back();
-  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  return detail::sorted_quantile(values, p);
 }
+
+/// Mergeable exact latency summary for the service layer: each worker
+/// accumulates its own shard (no sharing), shards merge by sorted merge,
+/// and quantiles interpolate order statistics with the same rule as
+/// `percentile`. Because a merge produces exactly the sorted multiset of
+/// the concatenated samples, `merged.quantile(p)` EQUALS
+/// `percentile(concatenation, p)` bit-for-bit — no sketch error (the
+/// t-digest trade was not taken; sample counts here are per-run request
+/// counts, so exactness is affordable). Mean/min/max are computed over
+/// the sorted array so they are also merge-order independent.
+class latency_summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+  }
+
+  /// Sorted merge: after this, *this summarizes the union multiset of
+  /// both sample sets, exactly.
+  void merge(const latency_summary& other) {
+    if (other.samples_.empty()) return;
+    ensure_sorted();
+    other.ensure_sorted();
+    std::vector<double> merged;
+    merged.reserve(samples_.size() + other.samples_.size());
+    std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+               other.samples_.end(), std::back_inserter(merged));
+    samples_ = std::move(merged);
+    sorted_ = true;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Exact interpolated quantile; 0.0 on an empty summary.
+  double quantile(double p) const {
+    ensure_sorted();
+    return detail::sorted_quantile(samples_, p);
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
+  double min() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+  double max() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  /// Mean accumulated in sorted order, so shards merged in any order
+  /// report the identical double.
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    double sum = 0.0;
+    for (const double x : samples_) sum += x;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// The sorted sample multiset (for tests and offline analysis).
+  const std::vector<double>& sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
 
 }  // namespace pcq

@@ -24,7 +24,12 @@
 //     when the queue claims exact semantics;
 //   batched conservation / drain — the same invariants through
 //     push_batch / try_pop_batch (chunks ascending; globally sorted only
-//     when a queue's batched pops are exact, asserted per-queue).
+//     when a queue's batched pops are exact, asserted per-queue);
+//   timed replay        — push_timed/try_pop_timed tickets strictly
+//     increase in program order and the merged log replays with every
+//     operation accounted for (rank 0 throughout when the 1-thread
+//     queue is strict) — the contract the service layer's deadline
+//     priorities and every rank table stand on.
 
 #pragma once
 
@@ -39,6 +44,7 @@
 
 #include "test_macros.hpp"
 #include "core/pq_handle.hpp"
+#include "core/rank_recorder.hpp"
 #include "util/rng.hpp"
 
 namespace pcq {
@@ -387,6 +393,70 @@ void check_batched_drain(MakeQueue make, std::size_t n, std::size_t batch,
   CHECK(keys == drained);
 }
 
+/// Timed-API conformance (queues modeling the timed extension — all five
+/// in-tree queues; a no-op otherwise via if constexpr): single-threaded
+/// push_timed / try_pop_timed with deadline-shaped keys (a monotone base
+/// plus jitter — the shape the service layer's EDF priorities have), the
+/// tickets must strictly increase in program order (they are drawn at the
+/// linearization point, and one thread's operations linearize in program
+/// order), and replaying the merged log through the rank oracle must
+/// account for every operation: no unmatched removes, every pop matched,
+/// and — when the single-threaded queue is (or degenerates to) strict —
+/// zero inversions with mean rank exactly 0. This is what makes the
+/// timestamp→replay pipeline trustworthy for the service layer's
+/// deadline priorities without each bench re-deriving it.
+template <typename MakeQueue>
+void check_timed_replay(MakeQueue make, bool exact, std::uint64_t seed) {
+  auto queue = make(1);
+  using queue_type = typename std::decay<decltype(*queue)>::type;
+  if constexpr (has_timed_api<queue_type>::value) {
+    auto handle = queue->get_handle(0);
+    rank_recorder recorder(1);
+    xoshiro256ss rng(seed);
+    std::uint64_t last_ts = 0;
+    const std::size_t n = 512;
+
+    const auto push_one = [&](std::uint64_t base) {
+      // Deadline-shaped key: arrival-ordered base, service-sized jitter.
+      const std::uint64_t key = base * 1000 + rng.bounded(64u * 1000);
+      const std::uint64_t ts = handle.push_timed(key, key);
+      CHECK(ts > last_ts);
+      last_ts = ts;
+      recorder.record(0, event_kind::insert, ts, key);
+    };
+    const auto pop_one = [&] {
+      std::uint64_t key = 0, value = 0, ts = 0;
+      CHECK(handle.try_pop_timed(key, value, ts));
+      CHECK(value == key);
+      CHECK(ts > last_ts);
+      last_ts = ts;
+      recorder.record(0, event_kind::remove, ts, key);
+    };
+
+    // Fill, half-drain, refill, full drain: the replay sees interleaved
+    // insert/remove phases, not just a sorted dump.
+    for (std::size_t i = 0; i < n; ++i) push_one(i);
+    for (std::size_t i = 0; i < n / 2; ++i) pop_one();
+    for (std::size_t i = 0; i < n / 2; ++i) push_one(n + i);
+    for (std::size_t i = 0; i < n; ++i) pop_one();
+    std::uint64_t key = 0, value = 0, ts = 0;
+    CHECK(!handle.try_pop_timed(key, value, ts));
+
+    const replay_report report = replay_ranks(recorder.logs());
+    CHECK(report.unmatched == 0);
+    CHECK(report.deletions == n + n / 2);
+    CHECK(report.rank_stats.count() == n + n / 2);
+    if (exact) {
+      CHECK(report.inversions == 0);
+      CHECK(report.rank_stats.mean() == 0.0);
+      CHECK(report.rank_stats.max() == 0.0);
+    }
+  } else {
+    (void)exact;
+    (void)seed;
+  }
+}
+
 /// The full suite at TSan-friendly scales — the conformance gate every
 /// queue type passes. `drain_exact` asserts sorted scalar drains for
 /// queues that are strict (or degenerate to strict) when built for one
@@ -407,6 +477,7 @@ void run_standard_suite(MakeQueue make, bool drain_exact,
                              /*batch=*/8, seed + 4);
   check_batched_drain(make, /*n=*/2048, /*batch=*/8, /*exact=*/false,
                       seed + 5);
+  check_timed_replay(make, drain_exact, seed + 6);
 }
 
 }  // namespace testing

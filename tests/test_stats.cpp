@@ -71,6 +71,65 @@ int main() {
     CHECK_NEAR(pcq::percentile({7.0}, 0.3), 7.0, 0.0);
   }
 
+  // latency_summary: merging shards is EXACT — every quantile of the
+  // merged summary equals percentile() of the concatenated samples as
+  // the identical double (sorted merge, one shared interpolation rule).
+  {
+    pcq::xoshiro256ss rng(9);
+    std::vector<pcq::latency_summary> shards(4);
+    std::vector<double> all;
+    for (int i = 0; i < 4097; ++i) {
+      const double x = rng.next_double() * 10.0;
+      // Shard 0 stays EMPTY; shard 1 gets exactly ONE sample — the edge
+      // cases a per-worker log layout actually produces (idle workers).
+      shards[i == 0 ? 1 : 2 + (i & 1)].add(x);
+      all.push_back(x);
+    }
+    pcq::latency_summary merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    CHECK(merged.count() == all.size());
+    for (const double p : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+      CHECK(merged.quantile(p) == pcq::percentile(all, p));
+    }
+    pcq::latency_summary whole;
+    for (const double x : all) whole.add(x);
+    CHECK(merged.sorted_samples() == whole.sorted_samples());
+    CHECK(merged.mean() == whole.mean());
+    CHECK(merged.min() == whole.min());
+    CHECK(merged.max() == whole.max());
+
+    // Merge order does not matter: reversed shard order reports the
+    // identical doubles (mean accumulates over the sorted array).
+    pcq::latency_summary reversed;
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+      reversed.merge(*it);
+    }
+    CHECK(reversed.mean() == merged.mean());
+    CHECK(reversed.p999() == merged.p999());
+  }
+
+  // latency_summary edge cases: empty summary is well-defined; a single
+  // sample answers every quantile; merging with an empty summary in
+  // either direction is the identity.
+  {
+    pcq::latency_summary empty;
+    CHECK(empty.count() == 0);
+    CHECK(empty.quantile(0.5) == 0.0);
+    CHECK(empty.min() == 0.0 && empty.max() == 0.0 && empty.mean() == 0.0);
+
+    pcq::latency_summary one;
+    one.add(7.5);
+    for (const double p : {0.0, 0.3, 0.5, 0.999, 1.0}) {
+      CHECK(one.quantile(p) == 7.5);
+    }
+
+    pcq::latency_summary into_empty;
+    into_empty.merge(one);
+    CHECK(into_empty.count() == 1 && into_empty.p50() == 7.5);
+    one.merge(empty);
+    CHECK(one.count() == 1 && one.p50() == 7.5);
+  }
+
   std::printf("test_stats OK\n");
   return 0;
 }
