@@ -10,10 +10,20 @@
 // not measured here — is rank relaxation growing with the buffer size
 // (see docs/ARCHITECTURE.md for the bound).
 //
-// Emits BENCH_abl_batch.json next to the console table.
+// A second table measures the DRAIN phase: prefill once, then all
+// threads pop concurrently until the queue is empty. The tail of a
+// drain is the near-empty regime where deleteMin samples keep missing —
+// the path where the emptiness sweep's cadence matters (an earlier
+// multi_queue version swept the full O(#queues) top+count array on
+// every sample miss, so exactly this phase thrashed every published
+// cell; the sweep is now strictly every-32nd-attempt).
+//
+// Emits BENCH_abl_batch.json next to the console tables.
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchlib/bench_env.hpp"
@@ -21,7 +31,9 @@
 #include "benchlib/pq_bench_driver.hpp"
 #include "benchlib/table_printer.hpp"
 #include "core/multi_queue.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -47,6 +59,56 @@ double measure(std::size_t threads, std::size_t prefill, std::size_t pairs,
         batch == 1 ? run_alternating(queue, cfg)
                    : run_alternating_batched(queue, cfg, batch);
     mops.push_back(result.mops_per_sec);
+  }
+  return percentile(mops, 0.5);
+}
+
+// Concurrent drain of a prefilled queue: delivered elements per second
+// across all threads, dominated at the tail by the near-empty retry
+// path (sample misses + emptiness sweeps).
+double measure_drain(std::size_t threads, std::size_t prefill,
+                     std::size_t batch) {
+  using entry = std::pair<std::uint64_t, std::uint64_t>;
+  std::vector<double> mops;
+  for (unsigned trial = 0; trial < trials(); ++trial) {
+    mq_config qcfg;
+    qcfg.queue_factor = 2;
+    qcfg.pop_batch = batch;
+    multi_queue<std::uint64_t, std::uint64_t> queue(qcfg, threads);
+    {
+      auto handle = queue.get_handle(0);
+      xoshiro256ss rng(77 + trial);
+      std::vector<entry> block(1024);
+      for (std::size_t done = 0; done < prefill;) {
+        const std::size_t m = std::min(block.size(), prefill - done);
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::uint64_t key = rng() >> 1;
+          block[i] = entry(key, key);
+        }
+        handle.push_batch(block.data(), m);
+        done += m;
+      }
+    }
+    std::atomic<std::uint64_t> delivered{0};
+    wall_timer timer;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        auto handle = queue.get_handle(t);
+        while (delivered.load(std::memory_order_acquire) < prefill) {
+          std::uint64_t k = 0, v = 0;
+          // A false pop here is transient (another handle's pop buffer
+          // still owes its elements); the loop terminates on the
+          // delivered count, not on emptiness.
+          if (handle.try_pop(k, v))
+            delivered.fetch_add(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    mops.push_back(static_cast<double>(prefill) / timer.elapsed_seconds() /
+                   1e6);
   }
   return percentile(mops, 0.5);
 }
@@ -87,6 +149,24 @@ int main() {
     table.row(row);
   }
 
+  // Drain phase: the near-empty tail where the sweep cadence shows.
+  std::printf("\n");
+  print_header(
+      "ABL-BATCH drain: concurrent drain of a prefilled queue (Mpops/s)",
+      "all threads pop until empty; the tail is the sample-miss + "
+      "emptiness-sweep regime");
+  table_printer drain_table(columns);
+  std::vector<std::vector<double>> drain_series(std::size(kBatches));
+  for (const std::size_t t : thread_counts) {
+    std::vector<double> row{static_cast<double>(t)};
+    for (std::size_t b = 0; b < std::size(kBatches); ++b) {
+      const double mops = measure_drain(t, prefill, kBatches[b]);
+      drain_series[b].push_back(mops);
+      row.push_back(mops);
+    }
+    drain_table.row(row);
+  }
+
   const std::string json_path = json_artifact_path("BENCH_abl_batch.json");
   json_writer json(json_path);
   json.begin_object()
@@ -106,6 +186,9 @@ int main() {
         .kv("batch", kBatches[b]);
     json.key("mops").begin_array();
     for (const double m : series[b]) json.value(m);
+    json.end_array();
+    json.key("drain_mops").begin_array();
+    for (const double m : drain_series[b]) json.value(m);
     json.end_array().end_object();
   }
   json.end_array().end_object();

@@ -361,7 +361,7 @@ class multi_queue {
           s.lock.unlock();
         }
       }
-      if (empty_by_sweep(attempt, have_candidate)) return 0;
+      if (empty_by_sweep(attempt)) return 0;
       bo.pause();
     }
   }
@@ -374,8 +374,17 @@ class multi_queue {
   /// round. Either cell visible means the queue is worth another attempt.
   /// Relaxed verdict either way: a push that published nothing yet can
   /// linearize after the pop's emptiness answer.
-  bool empty_by_sweep(unsigned attempt, bool have_candidate) {
-    if (attempt % 32 != 0 && have_candidate) return false;
+  ///
+  /// Strictly every-32nd-attempt cadence. An earlier version also swept
+  /// on every attempt whose SAMPLE found no candidate — but near-empty
+  /// queues are exactly where samples fail, so a many-thread drain
+  /// degenerated into every pop thrashing the full O(#queues) array of
+  /// published top+count cells on every attempt (see bench_abl_batch's
+  /// drain phase). The cadence now depends on the attempt counter
+  /// alone; failed samples just retry through the backoff ladder, and a
+  /// truly-empty verdict is at most 31 cheap attempts late.
+  bool empty_by_sweep(unsigned attempt) {
+    if (attempt % 32 != 0) return false;
     for (std::size_t i = 0; i < num_queues_; ++i) {
       const slot& s = slots_[i];
       if (s.top.load(std::memory_order_acquire) != empty_key() ||

@@ -42,6 +42,19 @@
 // that need a termination guarantee combine it with their own in-flight
 // accounting (see graph/parallel_sssp.hpp) or quiesce first.
 //
+// Why there is no `try_pop_any` escape hatch ("pop from anywhere,
+// ignoring priority — just prove non-emptiness"): every consumer that
+// looked like it needed one turns out to be covered by the two
+// guarantees above. The executor (exec/executor.hpp) and parallel_sssp
+// terminate on failed-pop + in-flight accounting, so a false negative
+// costs one backoff round, never liveness; drains terminate because
+// flush-on-destruction plus relaxed emptiness make a fresh handle able
+// to empty any quiescent queue completely. A try_pop_any would also be
+// unimplementable honestly on the strict queues (it IS try_pop there)
+// while licensing relaxed callers to bypass the ordered path — the
+// whole quantity this repo measures. Absent a consumer whose liveness
+// needs it, the concept stays at six operations.
+//
 // Timed extension (optional, modeled by all five in-tree queues):
 // `push_timed` / `try_pop_timed` draw a global timestamp at (or near)
 // the operation's linearization point for offline rank replay — see

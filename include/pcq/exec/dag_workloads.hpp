@@ -1,0 +1,223 @@
+// Real-work workloads for the executor — sim/graph_process's precedence
+// DAGs promoted from simulated settles to actual per-task compute, plus
+// a fork-join reduction exercising spawn/await. Every workload has a
+// deterministic sequential oracle, so a parallel run is verified by
+// value equality, and the DAG runner re-checks graph_process's
+// topological-release invariant inline on every task.
+//
+// The task kernels are *commutative over predecessors*: a task's input
+// is the sum (a schedule-independent reduction) of its predecessors'
+// outputs, so any legal parallel schedule produces bit-identical
+// outputs to the sequential id-order reference — equality is a real
+// oracle, not a lucky one.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "graph/csr_graph.hpp"
+#include "sim/graph_process.hpp"
+
+namespace pcq {
+namespace exec {
+
+/// Deterministic per-task compute kernel: `rounds` splitmix64-style
+/// mixing rounds folded over the seed. Pure ALU work with a verifiable
+/// output — the knob that sets task granularity in the exec benches.
+inline std::uint64_t task_kernel(std::uint64_t seed, std::uint32_t rounds) {
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ull;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------
+// DAG workload: one task per node of a make_dag() DAG. Task v computes
+// out[v] = task_kernel(sum of predecessor outputs + v, rounds) and
+// releases each successor whose last dependency cleared as a detached
+// spawn at its precedence-respecting priority (task_priority).
+// ---------------------------------------------------------------------
+
+/// Sequential oracle: id order is a topological order of make_dag DAGs.
+inline std::vector<std::uint64_t> sequential_dag_outputs(
+    const graph::csr_graph& dag, std::uint32_t rounds) {
+  std::vector<std::uint64_t> out(dag.num_nodes());
+  std::vector<std::uint64_t> input(dag.num_nodes(), 0);
+  for (graph::csr_graph::node_id u = 0; u < dag.num_nodes(); ++u) {
+    out[u] = task_kernel(input[u] + u, rounds);
+    for (const graph::csr_graph::arc& a : dag.out(u)) input[a.head] += out[u];
+  }
+  return out;
+}
+
+struct dag_exec_result {
+  std::vector<std::uint64_t> outputs;  // per-node kernel outputs
+  std::uint64_t settled = 0;           // tasks that ran
+  bool topo_ok = true;  // no premature or duplicate settle observed
+  exec_stats stats;
+};
+
+/// Runs the DAG as real executor work over `queue` (passed in empty).
+/// Correct iff result.topo_ok, result.settled == num_nodes, and
+/// result.outputs == sequential_dag_outputs(dag, rounds).
+template <typename Queue>
+dag_exec_result run_dag_executor(const graph::csr_graph& dag,
+                                 std::size_t num_threads, Queue& queue,
+                                 std::uint32_t rounds) {
+  const std::size_t n = dag.num_nodes();
+  const std::vector<std::uint32_t> depth = sim::dag_depths(dag);
+
+  std::unique_ptr<std::atomic<std::uint32_t>[]> remaining(
+      new std::atomic<std::uint32_t>[n]);
+  std::unique_ptr<std::atomic<std::uint64_t>[]> input(
+      new std::atomic<std::uint64_t>[n]);
+  std::unique_ptr<std::atomic<bool>[]> settled_flag(new std::atomic<bool>[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    remaining[v].store(0, std::memory_order_relaxed);
+    input[v].store(0, std::memory_order_relaxed);
+    settled_flag[v].store(false, std::memory_order_relaxed);
+  }
+  for (graph::csr_graph::node_id u = 0; u < n; ++u)
+    for (const graph::csr_graph::arc& a : dag.out(u))
+      remaining[a.head].fetch_add(1, std::memory_order_relaxed);
+
+  dag_exec_result result;
+  result.outputs.assign(n, 0);
+  std::atomic<std::uint64_t> settled{0};
+  std::atomic<bool> topo_ok{true};
+
+  // Task bodies are built lazily per node; the recursive factory and
+  // everything its closures reference outlive run().
+  std::function<job_fn(graph::csr_graph::node_id)> make_task =
+      [&](graph::csr_graph::node_id v) -> job_fn {
+    return [&, v](job_context& ctx) {
+      // Topological-release invariant (graph_process's oracle): all
+      // dependencies cleared, and this is the node's first settle.
+      if (remaining[v].load(std::memory_order_acquire) != 0 ||
+          settled_flag[v].exchange(true, std::memory_order_acq_rel))
+        topo_ok.store(false, std::memory_order_relaxed);
+      // Predecessor inputs are visible: each predecessor's relaxed
+      // fetch_add on input[v] happens-before its acq_rel decrement of
+      // remaining[v], and the release chain through the final
+      // decrement + queue push publishes them all to this body.
+      result.outputs[v] =
+          task_kernel(input[v].load(std::memory_order_relaxed) + v, rounds);
+      settled.fetch_add(1, std::memory_order_relaxed);
+      for (const graph::csr_graph::arc& a : dag.out(v)) {
+        input[a.head].fetch_add(result.outputs[v],
+                                std::memory_order_relaxed);
+        if (remaining[a.head].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          ctx.spawn_detached(
+              sim::task_priority(depth[a.head], a.head, n),
+              make_task(a.head));
+      }
+    };
+  };
+
+  executor<Queue> ex(queue);
+  for (graph::csr_graph::node_id v = 0; v < n; ++v)
+    if (remaining[v].load(std::memory_order_relaxed) == 0)
+      ex.submit(sim::task_priority(depth[v], v, n), make_task(v));
+  result.stats = ex.run(num_threads);
+
+  result.settled = settled.load(std::memory_order_relaxed);
+  result.topo_ok = topo_ok.load(std::memory_order_relaxed);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Fork-join workload: recursive range reduction via spawn + then. A
+// node splits its range, spawns the two halves as awaited children
+// writing into a heap cell, and its continuation combines and frees
+// the cell — exactly the continuation-lifetime pattern ASan watches.
+// ---------------------------------------------------------------------
+
+struct forkjoin_params {
+  std::uint64_t items = 1 << 15;
+  std::uint64_t grain = 64;  // ranges at most this long compute inline
+  std::uint32_t rounds = 16;
+};
+
+/// Sequential oracle for the fork-join reduction.
+inline std::uint64_t sequential_forkjoin_sum(const forkjoin_params& p) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < p.items; ++i) sum += task_kernel(i, p.rounds);
+  return sum;
+}
+
+/// Jobs the deterministic splitting tree executes: one leaf body per
+/// grain-sized range, plus a body and a continuation per inner node.
+inline std::uint64_t forkjoin_job_count(std::uint64_t lo, std::uint64_t hi,
+                                        std::uint64_t grain) {
+  if (hi - lo <= grain) return 1;
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  return 2 + forkjoin_job_count(lo, mid, grain) +
+         forkjoin_job_count(mid, hi, grain);
+}
+
+struct forkjoin_result {
+  std::uint64_t sum = 0;
+  exec_stats stats;
+};
+
+template <typename Queue>
+forkjoin_result run_forkjoin_executor(std::size_t num_threads, Queue& queue,
+                                      const forkjoin_params& p) {
+  const std::uint64_t grain = p.grain > 0 ? p.grain : 1;
+  // Deeper nodes get smaller keys so priority-ordered queues work
+  // depth-first (bounded tree frontier); correctness is independent.
+  const auto prio = [](std::uint64_t tree_depth) {
+    return tree_depth < 64 ? 64 - tree_depth : 0;
+  };
+
+  struct fj_cell {
+    std::uint64_t left = 0;
+    std::uint64_t right = 0;
+  };
+
+  std::function<job_fn(std::uint64_t, std::uint64_t, std::uint64_t,
+                       std::uint64_t*)>
+      make = [&](std::uint64_t lo, std::uint64_t hi, std::uint64_t tree_depth,
+                 std::uint64_t* out) -> job_fn {
+    return [&, lo, hi, tree_depth, out](job_context& ctx) {
+      if (hi - lo <= grain) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = lo; i < hi; ++i)
+          sum += task_kernel(i, p.rounds);
+        *out = sum;  // published to the awaiting continuation by the
+        return;      // pending-count decrement + queue hand-off
+      }
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      fj_cell* cell = new fj_cell;
+      ctx.spawn(prio(tree_depth + 1),
+                make(lo, mid, tree_depth + 1, &cell->left));
+      ctx.spawn(prio(tree_depth + 1),
+                make(mid, hi, tree_depth + 1, &cell->right));
+      ctx.then([out, cell](job_context&) {
+        *out = cell->left + cell->right;
+        delete cell;
+      });
+    };
+  };
+
+  forkjoin_result result;
+  std::uint64_t total = 0;
+  executor<Queue> ex(queue);
+  ex.submit(prio(0), make(0, p.items, 0, &total));
+  result.stats = ex.run(num_threads);
+  result.sum = total;
+  return result;
+}
+
+}  // namespace exec
+}  // namespace pcq

@@ -1,0 +1,299 @@
+// A thread-pool job system scheduled by relaxed priority — the layer
+// that turns the pcq queues from data structures into an application
+// runtime (ROADMAP direction 3). Tasks carry a priority key, may
+// `spawn` children and await them, and the *ready queue is pluggable
+// behind the pq handle concept*: the MultiQueue (the paper's pop-time
+// choice), any strict baseline, or the Chase–Lev steal-deque pool
+// (scheduler-level choice, no priority order at all).
+//
+// Await is continuation-passing, never blocking:
+//
+//   - every job carries an atomic `pending` count = 1 (its own body)
+//     + one per live awaited child;
+//   - `ctx.then(fn)` registers a continuation on the current job;
+//   - when `pending` drops to zero and a continuation is set, the job
+//     is *re-pushed through the ready queue* with the continuation as
+//     its next body (hand-off); otherwise completion cascades to the
+//     parent's `pending` count and the job is freed.
+//
+// Hand-off beats blocking joins on both axes this repo measures: a
+// worker that finishes the last child never parks (no idle HW thread,
+// no condition-variable syscall on the hot path), and the continuation
+// re-enters the *same priority order as every other ready task*, so
+// the scheduling policy under test keeps authority over the whole
+// schedule — a blocked join would smuggle a scheduler-invisible
+// dependency past the queue. Chained awaits work: a continuation may
+// spawn more children and call `then` again.
+//
+// Termination reuses parallel_sssp's in-flight protocol verbatim: a
+// shared counter is incremented BEFORE an entry becomes poppable and
+// decremented only after its body (and any spawns it made) are done,
+// so `failed pop && in_flight == 0` (acquire, paired with the release
+// decrement) proves no task exists or can appear — exactly the
+// guarantee the queues' relaxed emptiness cannot give on its own.
+//
+// Why no `try_pop_any` escape hatch in the pq concept: see the note in
+// core/pq_handle.hpp — the executor never needs "pop from anywhere,
+// ignoring priority" because relaxed emptiness plus in-flight
+// accounting already covers the only case such a hatch would serve.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/pq_handle.hpp"
+#include "util/spinlock.hpp"
+#include "util/timer.hpp"
+
+namespace pcq {
+namespace exec {
+
+class job_context;
+
+/// A job body. Runs exactly once on some worker; may spawn children,
+/// spawn detached roots, and register a continuation via the context.
+using job_fn = std::function<void(job_context&)>;
+
+namespace detail {
+
+struct job {
+  job_fn body;
+  job_fn continuation;   // set via ctx.then(); runs after all children
+  job* parent = nullptr; // awaited-by link; nullptr for roots/detached
+  std::uint64_t priority = 0;
+  // 1 for the un-run body, +1 per live awaited child. The job's storage
+  // is only touched single-threaded once this hits zero (acq_rel RMWs
+  // form a release sequence, so the last decrementer sees everything).
+  std::atomic<std::uint32_t> pending{1};
+};
+
+}  // namespace detail
+
+/// Per-worker view handed to every job body. Not thread-safe; valid
+/// only for the duration of the body call it was passed to.
+class job_context {
+ public:
+  virtual ~job_context() = default;
+
+  /// Spawn a child awaited by the current job: the continuation
+  /// registered with then() runs only after the child (and its own
+  /// continuation chain) completes.
+  virtual void spawn(std::uint64_t priority, job_fn fn) = 0;
+
+  /// Spawn an independent job (no await edge) — how DAG workloads
+  /// release a successor whose last precedence-dependency cleared.
+  virtual void spawn_detached(std::uint64_t priority, job_fn fn) = 0;
+
+  /// Register (or replace) the current job's continuation. It runs at
+  /// the job's priority once every spawned child has completed.
+  virtual void then(job_fn fn) = 0;
+
+  virtual std::size_t worker_id() const = 0;
+};
+
+struct exec_stats {
+  std::uint64_t executed = 0;  // bodies + continuations run
+  std::uint64_t spawned = 0;   // pushes: roots + children + continuations
+  double seconds = 0.0;        // wall time of run(), seeding included
+};
+
+/// The executor. `Queue` must model the pq concept with
+/// entry == pair<uint64_t, uint64_t>: keys are priorities (smaller
+/// pops first on the priority-ordered queues), values carry job
+/// pointers. One executor per run-cycle queue; the queue must be empty
+/// and otherwise unused while run() is active.
+template <typename Queue>
+class executor {
+  static_assert(is_pq<Queue>::value, "executor requires a pq-concept queue");
+  static_assert(
+      std::is_same<typename Queue::entry,
+                   std::pair<std::uint64_t, std::uint64_t>>::value,
+      "executor requires entry == pair<uint64_t, uint64_t>");
+  static_assert(sizeof(std::uintptr_t) <= sizeof(std::uint64_t),
+                "job pointers must fit the value payload");
+
+ public:
+  explicit executor(Queue& queue) : queue_(queue) {}
+
+  executor(const executor&) = delete;
+  executor& operator=(const executor&) = delete;
+
+  ~executor() {
+    for (detail::job* j : roots_) delete j;  // submitted but never run
+  }
+
+  /// Queue a root job for the next run(). Not thread-safe.
+  void submit(std::uint64_t priority, job_fn fn) {
+    detail::job* j = new detail::job;
+    j->body = std::move(fn);
+    j->priority = priority;
+    roots_.push_back(j);
+  }
+
+  /// Run workers until every submitted job — and everything it
+  /// transitively spawned — has completed. Returns aggregate stats.
+  exec_stats run(std::size_t num_threads) {
+    const std::size_t threads = num_threads == 0 ? 1 : num_threads;
+    wall_timer timer;
+
+    // In-flight protocol: count BEFORE the entries become poppable.
+    in_flight_.store(static_cast<std::uint64_t>(roots_.size()),
+                     std::memory_order_relaxed);
+    std::uint64_t seeded = 0;
+    {
+      // Scoped seeder handle on id 0; destroyed (and flushed) before
+      // the worker with the same id starts, so ids never overlap live.
+      auto seeder = queue_.get_handle(0);
+      for (detail::job* j : roots_) {
+        seeder.push(j->priority, to_value(j));
+        ++seeded;
+      }
+      roots_.clear();
+    }
+
+    std::vector<std::uint64_t> executed_by(threads, 0);
+    std::vector<std::uint64_t> spawned_by(threads, 0);
+
+    auto worker = [&](std::size_t tid) {
+      auto handle = queue_.get_handle(tid);
+      worker_context ctx(this, &handle, tid);
+      backoff bo;
+      for (;;) {
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        if (!handle.try_pop(key, value)) {
+          // Relaxed emptiness alone cannot terminate: pair the failed
+          // pop with the acquire in-flight check (cf. parallel_sssp).
+          if (in_flight_.load(std::memory_order_acquire) == 0) break;
+          bo.pause();
+          continue;
+        }
+        bo.reset();
+        ctx.run_job(from_value(value));
+        in_flight_.fetch_sub(1, std::memory_order_release);
+      }
+      executed_by[tid] = ctx.executed_;
+      spawned_by[tid] = ctx.spawned_;
+    };
+
+    if (threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+      for (auto& th : pool) th.join();
+    }
+
+    exec_stats stats;
+    stats.seconds = timer.elapsed_seconds();
+    stats.spawned = seeded;
+    for (std::size_t t = 0; t < threads; ++t) {
+      stats.executed += executed_by[t];
+      stats.spawned += spawned_by[t];
+    }
+    return stats;
+  }
+
+ private:
+  class worker_context final : public job_context {
+   public:
+    worker_context(executor* ex, pq_handle_t<Queue>* handle, std::size_t wid)
+        : ex_(ex), handle_(handle), wid_(wid) {}
+
+    void spawn(std::uint64_t priority, job_fn fn) override {
+      detail::job* child = new detail::job;
+      child->body = std::move(fn);
+      child->priority = priority;
+      child->parent = current_;
+      // The parent is mid-body, so its pending count is >= 1 and this
+      // relaxed increment cannot race a completion cascade.
+      current_->pending.fetch_add(1, std::memory_order_relaxed);
+      enqueue(child);
+    }
+
+    void spawn_detached(std::uint64_t priority, job_fn fn) override {
+      detail::job* j = new detail::job;
+      j->body = std::move(fn);
+      j->priority = priority;
+      enqueue(j);
+    }
+
+    void then(job_fn fn) override {
+      current_->continuation = std::move(fn);
+    }
+
+    std::size_t worker_id() const override { return wid_; }
+
+    void run_job(detail::job* j) {
+      current_ = j;
+      job_fn body = std::move(j->body);  // free the slot for hand-off reuse
+      j->body = nullptr;
+      body(*this);
+      current_ = nullptr;
+      ++executed_;
+      if (j->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) finish(j);
+    }
+
+   private:
+    void enqueue(detail::job* j) {
+      // Count before poppable; the push's internal release publishes
+      // the job's fields to whichever worker pops it.
+      ex_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+      handle_->push(j->priority, to_value(j));
+      ++spawned_;
+    }
+
+    // Called by whichever worker drops a job's pending count to zero;
+    // from that point the job is owned single-threaded.
+    void finish(detail::job* j) {
+      for (;;) {
+        if (j->continuation) {
+          // Hand-off: the continuation becomes the job's next body and
+          // re-enters the ready queue at the job's priority — the
+          // scheduling policy keeps authority; no worker ever blocks.
+          j->body = std::move(j->continuation);
+          j->continuation = nullptr;
+          j->pending.store(1, std::memory_order_relaxed);
+          enqueue(j);
+          return;
+        }
+        detail::job* parent = j->parent;
+        delete j;
+        if (parent == nullptr) return;
+        if (parent->pending.fetch_sub(1, std::memory_order_acq_rel) != 1)
+          return;
+        j = parent;  // cascade: parent just completed too
+      }
+    }
+
+    friend class executor;
+    executor* ex_;
+    pq_handle_t<Queue>* handle_;
+    std::size_t wid_;
+    detail::job* current_ = nullptr;
+    std::uint64_t executed_ = 0;
+    std::uint64_t spawned_ = 0;
+  };
+
+  static std::uint64_t to_value(detail::job* j) {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(j));
+  }
+  static detail::job* from_value(std::uint64_t v) {
+    return reinterpret_cast<detail::job*>(static_cast<std::uintptr_t>(v));
+  }
+
+  Queue& queue_;
+  std::vector<detail::job*> roots_;
+  std::atomic<std::uint64_t> in_flight_{0};
+};
+
+}  // namespace exec
+}  // namespace pcq

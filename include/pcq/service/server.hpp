@@ -37,7 +37,14 @@
 // Termination everywhere is by completion COUNT, never by a failed
 // fetch: emptiness is relaxed all the way down (core/pq_handle.hpp), so
 // "looked empty" proves nothing while requests remain. Every trace
-// request is dispatched exactly once and finite, so the count is reached.
+// request is dispatched exactly once and finite, so the count is reached
+// — for a CONFORMING dispatcher. A buggy one that loses a request would
+// leave the count short forever, so both runners fail closed instead of
+// hanging: the virtual runner breaks when no event is runnable, and the
+// realtime runner carries a stall watchdog (no fetch or completion
+// progress anywhere for stall_timeout seconds → stop the workers and
+// return short, result.stalled = true). Callers then fail on the
+// completion count in bounded time instead of wedging CI.
 
 #pragma once
 
@@ -67,6 +74,10 @@ struct request_record {
 
 struct service_result {
   std::uint64_t completed = 0;
+  /// Realtime runner only: the stall watchdog fired — the dispatcher
+  /// stopped producing fetches with requests still unaccounted for
+  /// (completed < trace.size()), and the workers were stopped early.
+  bool stalled = false;
   double seconds = 0.0;  ///< makespan: last completion (virtual) or wall
   std::vector<std::vector<request_record>> worker_logs;  ///< shard per worker
   /// Virtual runner only: seq of every request in completion order (the
@@ -182,14 +193,27 @@ service_result run_service_virtual(const std::vector<request>& trace,
 /// the last stretch), `workers` worker threads fetch and spin out each
 /// request's service demand. Trace times are wall seconds — generate
 /// traces whose span fits the time you are willing to measure.
+///
+/// `stall_timeout_seconds` arms the watchdog (the realtime twin of the
+/// virtual runner's no-runnable-event break above): if no worker makes
+/// progress — no successful fetch and no completion anywhere — for that
+/// long while completions are still owed, every worker stops and the
+/// short result comes back with `stalled` set. Progress counts fetches
+/// as well as completions so one long in-service request cannot trip
+/// it; the timeout only needs to exceed the longest dispatch gap, not
+/// the trace makespan. Pick it comfortably above the largest single
+/// service demand.
 template <typename Dispatcher>
 service_result run_service_realtime(const std::vector<request>& trace,
                                     Dispatcher& dispatcher,
-                                    std::size_t workers) {
+                                    std::size_t workers,
+                                    double stall_timeout_seconds = 5.0) {
   service_result result;
   result.worker_logs.resize(workers);
 
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> started{0};  // successful fetches (watchdog)
+  std::atomic<bool> stalled{false};
   const std::uint64_t total = trace.size();
   wall_timer clock;  // the one epoch every thread measures against
 
@@ -215,13 +239,34 @@ service_result run_service_realtime(const std::vector<request>& trace,
     pool.emplace_back([&, w] {
       auto& log = result.worker_logs[w];
       backoff bo;
-      while (completed.load(std::memory_order_acquire) < total) {
+      std::uint64_t seen_progress = 0;
+      double idle_since = 0.0;
+      bool idling = false;
+      while (completed.load(std::memory_order_acquire) < total &&
+             !stalled.load(std::memory_order_acquire)) {
         std::uint64_t seq = 0;
         if (!dispatcher.fetch(w, seq)) {
+          // Watchdog: track global progress (fetches + completions);
+          // if nothing moved for stall_timeout_seconds while requests
+          // are still owed, the dispatcher lost one — fail closed.
+          const std::uint64_t progress =
+              started.load(std::memory_order_relaxed) +
+              completed.load(std::memory_order_relaxed);
+          const double now = clock.elapsed_seconds();
+          if (!idling || progress != seen_progress) {
+            idling = true;
+            seen_progress = progress;
+            idle_since = now;
+          } else if (now - idle_since > stall_timeout_seconds) {
+            stalled.store(true, std::memory_order_release);
+            break;
+          }
           bo.pause();
           continue;
         }
         bo.reset();
+        idling = false;
+        started.fetch_add(1, std::memory_order_relaxed);
         const request& r = trace[seq];
         const double start = clock.elapsed_seconds();
         const double until = start + r.service;
@@ -241,6 +286,7 @@ service_result run_service_realtime(const std::vector<request>& trace,
   arrivals.join();
   for (auto& t : pool) t.join();
   result.completed = completed.load();
+  result.stalled = stalled.load();
   result.seconds = clock.elapsed_seconds();
   return result;
 }

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -238,6 +239,82 @@ int main() {
       }
       CHECK(summarize(*result).sojourn.count() == rt_trace.size());
     }
+  }
+
+  // Stall-watchdog regression: a NONCONFORMING dispatcher that silently
+  // loses requests must make the realtime runner return short in
+  // bounded time with `stalled` set — previously the workers spun on
+  // `completed < total` forever and a buggy dispatcher hung CI instead
+  // of failing it.
+  {
+    // Drops every third dispatch on the floor; otherwise a plain
+    // locked FIFO honoring the dispatcher threading contract.
+    class lossy_dispatcher {
+     public:
+      void dispatch(const request& r) {
+        if (++dispatched_ % 3 == 0) return;  // lost
+        lock_.lock();
+        fifo_.push_back(r.seq);
+        lock_.unlock();
+      }
+      bool fetch(std::size_t /*worker*/, std::uint64_t& seq) {
+        lock_.lock();
+        const bool ok = !fifo_.empty();
+        if (ok) {
+          seq = fifo_.front();
+          fifo_.pop_front();
+        }
+        lock_.unlock();
+        return ok;
+      }
+      void seal() {}
+      std::size_t backlog() const {
+        lock_.lock();
+        const std::size_t n = fifo_.size();
+        lock_.unlock();
+        return n;
+      }
+
+     private:
+      std::uint64_t dispatched_ = 0;
+      mutable pcq::spinlock lock_;
+      std::deque<std::uint64_t> fifo_;
+    };
+
+    workload_config cfg;
+    cfg.num_requests = 60;
+    cfg.service = service_dist::exponential_mean(10e-6);
+    cfg.arrival_rate = arrival_rate_for_load(0.5, 2, cfg.service);
+    cfg.seed = 4242;
+    const std::vector<request> lossy_trace = make_open_loop_trace(cfg);
+
+    lossy_dispatcher lossy;
+    pcq::wall_timer watch;
+    const service_result result =
+        run_service_realtime(lossy_trace, lossy, 2,
+                             /*stall_timeout_seconds=*/0.2);
+    CHECK(watch.elapsed_seconds() < 5.0);  // bounded, not a hang
+    CHECK(result.stalled);
+    // Every dispatched request still completed; only the lost ones are
+    // missing, so callers asserting on the count fail deterministically.
+    CHECK(result.completed == lossy_trace.size() - lossy_trace.size() / 3);
+    CHECK(result.completed < lossy_trace.size());
+  }
+
+  // The watchdog must NOT fire on a conforming dispatcher even when the
+  // timeout is of the same order as the trace's dispatch gaps.
+  {
+    workload_config cfg;
+    cfg.num_requests = 100;
+    cfg.service = service_dist::exponential_mean(10e-6);
+    cfg.arrival_rate = arrival_rate_for_load(0.4, 2, cfg.service);
+    cfg.seed = 4243;
+    const std::vector<request> ok_trace = make_open_loop_trace(cfg);
+    auto mq = make_mq_dispatcher(2);
+    const service_result result =
+        run_service_realtime(ok_trace, mq, 2, /*stall_timeout_seconds=*/0.5);
+    CHECK(!result.stalled);
+    CHECK(result.completed == ok_trace.size());
   }
 
   std::printf("test_service OK\n");
