@@ -42,21 +42,42 @@ using namespace pcq::bench;
 
 const std::size_t kBatches[] = {1, 4, 16, 64};
 
+// Sentinel batch value selecting the adaptive pop-buffer controller
+// (mq_config::adaptive_batch): the refill size starts at 1 and doubles
+// on contended/full refills, halves on empty/short ones, bounded by
+// pop_batch_max. Pushes stay scalar — the controller only governs the
+// pop side, so the column is comparable to batch1 on the push path.
+constexpr std::size_t kAdaptive = 0;
+constexpr std::size_t kAdaptiveMax = 64;
+
+mq_config make_qcfg(std::size_t batch) {
+  mq_config qcfg;
+  qcfg.queue_factor = 2;
+  if (batch == kAdaptive) {
+    qcfg.pop_batch = 1;
+    qcfg.adaptive_batch = true;
+    qcfg.pop_batch_max = kAdaptiveMax;
+  } else {
+    qcfg.pop_batch = batch;
+  }
+  return qcfg;
+}
+
 double measure(std::size_t threads, std::size_t prefill, std::size_t pairs,
                std::size_t batch) {
   std::vector<double> mops;
   for (unsigned trial = 0; trial < trials(); ++trial) {
-    mq_config qcfg;
-    qcfg.queue_factor = 2;
-    qcfg.pop_batch = batch;
-    multi_queue<std::uint64_t, std::uint64_t> queue(qcfg, threads);
+    multi_queue<std::uint64_t, std::uint64_t> queue(make_qcfg(batch),
+                                                    threads);
     workload_config cfg;
     cfg.num_threads = threads;
     cfg.prefill = prefill;
     cfg.pairs_per_thread = pairs;
     cfg.seed = 11 + trial;
+    // Scalar workload for batch=1 AND for adaptive (whose pushes are
+    // scalar by design); explicit batches drive the batched entry points.
     const auto result =
-        batch == 1 ? run_alternating(queue, cfg)
+        batch <= 1 ? run_alternating(queue, cfg)
                    : run_alternating_batched(queue, cfg, batch);
     mops.push_back(result.mops_per_sec);
   }
@@ -71,10 +92,8 @@ double measure_drain(std::size_t threads, std::size_t prefill,
   using entry = std::pair<std::uint64_t, std::uint64_t>;
   std::vector<double> mops;
   for (unsigned trial = 0; trial < trials(); ++trial) {
-    mq_config qcfg;
-    qcfg.queue_factor = 2;
-    qcfg.pop_batch = batch;
-    multi_queue<std::uint64_t, std::uint64_t> queue(qcfg, threads);
+    multi_queue<std::uint64_t, std::uint64_t> queue(make_qcfg(batch),
+                                                    threads);
     {
       auto handle = queue.get_handle(0);
       xoshiro256ss rng(77 + trial);
@@ -126,10 +145,19 @@ int main() {
   std::printf("prefill=%zu pairs/thread=%zu (PCQ_BENCH_FULL=%d)\n", prefill,
               pairs, full_scale() ? 1 : 0);
 
-  std::vector<std::string> columns{"threads"};
+  // The fixed batch columns plus the adaptive controller as its own
+  // series (drain is where it should earn its keep: the tail wants
+  // batch=1 while the full phase wants large refills).
+  std::vector<std::size_t> batches(std::begin(kBatches), std::end(kBatches));
+  batches.push_back(kAdaptive);
+  std::vector<std::string> names;
   for (const std::size_t b : kBatches) {
-    columns.push_back("batch" + std::to_string(b));
+    names.push_back("batch" + std::to_string(b));
   }
+  names.push_back("adaptive");
+
+  std::vector<std::string> columns{"threads"};
+  columns.insert(columns.end(), names.begin(), names.end());
   table_printer table(columns);
 
   std::vector<std::size_t> thread_counts;
@@ -137,12 +165,12 @@ int main() {
     thread_counts.push_back(t);
   }
 
-  // series[b][i] = Mops/s at kBatches[b], thread_counts[i].
-  std::vector<std::vector<double>> series(std::size(kBatches));
+  // series[b][i] = Mops/s at batches[b], thread_counts[i].
+  std::vector<std::vector<double>> series(batches.size());
   for (const std::size_t t : thread_counts) {
     std::vector<double> row{static_cast<double>(t)};
-    for (std::size_t b = 0; b < std::size(kBatches); ++b) {
-      const double mops = measure(t, prefill, pairs, kBatches[b]);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const double mops = measure(t, prefill, pairs, batches[b]);
       series[b].push_back(mops);
       row.push_back(mops);
     }
@@ -156,11 +184,11 @@ int main() {
       "all threads pop until empty; the tail is the sample-miss + "
       "emptiness-sweep regime");
   table_printer drain_table(columns);
-  std::vector<std::vector<double>> drain_series(std::size(kBatches));
+  std::vector<std::vector<double>> drain_series(batches.size());
   for (const std::size_t t : thread_counts) {
     std::vector<double> row{static_cast<double>(t)};
-    for (std::size_t b = 0; b < std::size(kBatches); ++b) {
-      const double mops = measure_drain(t, prefill, kBatches[b]);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const double mops = measure_drain(t, prefill, batches[b]);
       drain_series[b].push_back(mops);
       row.push_back(mops);
     }
@@ -180,10 +208,13 @@ int main() {
   for (const std::size_t t : thread_counts) json.value(t);
   json.end_array();
   json.key("series").begin_array();
-  for (std::size_t b = 0; b < std::size(kBatches); ++b) {
-    json.begin_object()
-        .kv("name", "batch" + std::to_string(kBatches[b]))
-        .kv("batch", kBatches[b]);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    json.begin_object().kv("name", names[b]);
+    if (batches[b] == kAdaptive) {
+      json.kv("pop_batch_max", kAdaptiveMax);
+    } else {
+      json.kv("batch", batches[b]);
+    }
     json.key("mops").begin_array();
     for (const double m : series[b]) json.value(m);
     json.end_array();

@@ -1,143 +1,246 @@
-// MICRO — google-benchmark microbenchmarks of the substrates: sequential
-// heaps (the MultiQueue's inner queue choice), the sequential skiplist,
-// RNG, alias sampling, Fenwick ops, and spinlock acquisition. These
-// justify the inner-heap arity choice and document substrate costs.
+// MICRO — single-threaded microbenchmarks of the sequential substrates
+// (the MultiQueue's per-slot queue choice) plus the scalar utility costs
+// every hot-path operation pays (RNG draws, alias sampling, Fenwick
+// updates, uncontended spinlock acquisition). These numbers justify the
+// inner-heap default (dary_heap<4>) and document what a d-choice probe
+// costs before it ever touches a heap.
+//
+// Substrate table: steady-state push+pop pairs at fixed heap depth — the
+// regime a MultiQueue slot actually lives in (its depth hovers around
+// total/(2*threads) while pairs stream through). Depth sweeps 2^8..2^20;
+// the JSON "threads" axis carries the log2 depth exponents (the schema's
+// generic strictly-increasing x-axis), one series per substrate plus
+// std::priority_queue as the STL reference. Each (substrate, depth) cell
+// prefills once and reuses the structure across trials: steady state is
+// the point, not construction.
+//
+// Expected shape: at shallow depths everything is cache-resident and the
+// simpler loops win; past ~2^16 the comparison tree no longer fits in L2
+// and the d-ary layout's fewer, wider levels (one cache line per sibling
+// group, bounce deletion's single compare-chain per level) pull ahead of
+// the binary heaps. The pairing heap's O(1) push shows up as cheap pairs
+// at depth where its pointer-chasing pop hasn't taken over; the
+// sequential skiplist documents why it is nobody's inner queue.
+//
+// Emits BENCH_micro.json (gated in CI against a committed baseline).
 
-#include <benchmark/benchmark.h>
-
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <queue>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "benchlib/bench_env.hpp"
+#include "benchlib/json_writer.hpp"
+#include "benchlib/table_printer.hpp"
 #include "heap/binary_heap.hpp"
 #include "heap/dary_heap.hpp"
+#include "heap/heap_concept.hpp"
 #include "heap/pairing_heap.hpp"
 #include "heap/skiplist.hpp"
 #include "util/discrete_distribution.hpp"
 #include "util/fenwick.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace pcq;
+using namespace pcq::bench;
 
+using u64 = std::uint64_t;
+
+template <typename Selector>
+using sub_t = heap_substrate_t<Selector, u64, u64, std::less<u64>>;
+
+/// std::priority_queue behind the substrate surface the driver uses, so
+/// the STL reference point runs the identical measurement loop.
+struct std_pq_adapter {
+  using entry = std::pair<u64, u64>;
+  void push(u64 key, u64 value) { q.emplace(key, value); }
+  entry pop() {
+    entry e = q.top();
+    q.pop();
+    return e;
+  }
+  std::priority_queue<entry, std::vector<entry>, std::greater<entry>> q;
+};
+
+/// Fold pops into a checksum the compiler cannot see through (printed at
+/// the end), so neither the push nor the pop loop is dead code.
+u64 g_sink = 0;
+
+/// Median Mops/s of steady-state push+pop pairs at fixed depth. The
+/// structure is prefilled once; every trial runs `iters` pairs against
+/// the same warm structure (each pair counts as 2 ops, matching the
+/// queue-level benches' accounting).
 template <typename Heap>
-void bm_heap_push_pop(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+double measure_pairs(std::size_t depth, std::size_t iters) {
   Heap heap;
-  xoshiro256ss rng(1);
-  // Prefill to depth n, then steady-state push+pop pairs.
-  for (std::size_t i = 0; i < n; ++i) {
-    heap.push(static_cast<std::uint64_t>(rng()));
-  }
-  for (auto _ : state) {
-    heap.push(static_cast<std::uint64_t>(rng()));
-    benchmark::DoNotOptimize(heap.pop_value());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-
-void bm_std_priority_queue(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                      std::greater<>>
-      heap;
-  xoshiro256ss rng(1);
-  for (std::size_t i = 0; i < n; ++i) heap.push(rng());
-  for (auto _ : state) {
-    heap.push(rng());
-    benchmark::DoNotOptimize(heap.top());
-    heap.pop();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-
-void bm_skiplist_insert_popfront(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  skiplist<std::uint64_t> list;
-  xoshiro256ss rng(1);
-  for (std::size_t i = 0; i < n; ++i) list.insert(rng());
-  for (auto _ : state) {
-    list.insert(rng());
-    benchmark::DoNotOptimize(list.pop_front());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-
-void bm_rng_next(benchmark::State& state) {
-  xoshiro256ss rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rng());
-}
-
-void bm_rng_bounded(benchmark::State& state) {
-  xoshiro256ss rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.bounded(12345));
-}
-
-void bm_rng_exponential(benchmark::State& state) {
-  xoshiro256ss rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(64.0));
-}
-
-void bm_alias_sample(benchmark::State& state) {
-  std::vector<double> w(64);
-  for (std::size_t i = 0; i < w.size(); ++i) {
-    w[i] = 1.0 + static_cast<double>(i % 7);
-  }
-  alias_table table(w);
-  xoshiro256ss rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
-}
-
-void bm_fenwick_rank_update(benchmark::State& state) {
-  const std::size_t m = 1u << 20;
-  rank_oracle oracle(m);
-  for (std::size_t i = 0; i < m; i += 2) oracle.insert(i);
-  xoshiro256ss rng(7);
-  std::size_t flip = 1;
-  for (auto _ : state) {
-    const std::size_t label = 2 * rng.bounded(m / 2);
-    if (oracle.contains(label)) {
-      benchmark::DoNotOptimize(oracle.remove(label));
-    } else {
-      oracle.insert(label);
+  xoshiro256ss rng(0x515u);
+  for (std::size_t i = 0; i < depth; ++i) heap.push(rng(), i);
+  std::vector<double> mops;
+  // Extra trials over the repo default: individual cells are fast, and
+  // the median needs headroom against scheduler interference spikes on
+  // small CI boxes (a single descheduling can halve one trial).
+  for (unsigned trial = 0; trial < trials() + 2; ++trial) {
+    wall_timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      heap.push(rng(), i);
+      g_sink += heap.pop().first;
     }
-    flip ^= 1;
+    mops.push_back(static_cast<double>(2 * iters) / timer.elapsed_seconds() /
+                   1e6);
   }
+  return percentile(mops, 0.5);
 }
 
-void bm_spinlock_uncontended(benchmark::State& state) {
-  spinlock lock;
-  for (auto _ : state) {
-    lock.lock();
-    benchmark::DoNotOptimize(&lock);
-    lock.unlock();
+/// Median ns/op of a scalar utility operation (body invoked `iters`
+/// times per trial).
+template <typename Body>
+double measure_ns(std::size_t iters, Body&& body) {
+  std::vector<double> ns;
+  for (unsigned trial = 0; trial < trials() + 2; ++trial) {
+    wall_timer timer;
+    for (std::size_t i = 0; i < iters; ++i) body();
+    ns.push_back(timer.elapsed_seconds() / static_cast<double>(iters) * 1e9);
   }
+  return percentile(ns, 0.5);
 }
+
+struct series_def {
+  const char* name;
+  double (*run)(std::size_t depth, std::size_t iters);
+};
+
+const series_def kSeries[] = {
+    {"binary", &measure_pairs<sub_t<binary_heap>>},
+    {"binary_classic", &measure_pairs<sub_t<binary_heap_classic>>},
+    {"dary2", &measure_pairs<sub_t<dary_heap<2>>>},
+    {"dary4", &measure_pairs<sub_t<dary_heap<4>>>},
+    {"dary8", &measure_pairs<sub_t<dary_heap<8>>>},
+    {"pairing", &measure_pairs<sub_t<pairing_heap>>},
+    {"skiplist", &measure_pairs<sub_t<seq_skiplist>>},
+    {"std_pq", &measure_pairs<std_pq_adapter>},
+};
 
 }  // namespace
 
-BENCHMARK_TEMPLATE(bm_heap_push_pop, binary_heap<std::uint64_t>)
-    ->Arg(1 << 10)
-    ->Arg(1 << 16);
-BENCHMARK_TEMPLATE(bm_heap_push_pop,
-                   dary_heap<std::uint64_t, std::less<std::uint64_t>, 4>)
-    ->Arg(1 << 10)
-    ->Arg(1 << 16);
-BENCHMARK_TEMPLATE(bm_heap_push_pop,
-                   dary_heap<std::uint64_t, std::less<std::uint64_t>, 8>)
-    ->Arg(1 << 10)
-    ->Arg(1 << 16);
-BENCHMARK_TEMPLATE(bm_heap_push_pop, pairing_heap<std::uint64_t>)
-    ->Arg(1 << 10)
-    ->Arg(1 << 16);
-BENCHMARK(bm_std_priority_queue)->Arg(1 << 10)->Arg(1 << 16);
-BENCHMARK(bm_skiplist_insert_popfront)->Arg(1 << 10)->Arg(1 << 14);
-BENCHMARK(bm_rng_next);
-BENCHMARK(bm_rng_bounded);
-BENCHMARK(bm_rng_exponential);
-BENCHMARK(bm_alias_sample);
-BENCHMARK(bm_fenwick_rank_update);
-BENCHMARK(bm_spinlock_uncontended);
+int main() {
+  // log2 heap depths; the smoke set keeps CI runs in seconds while still
+  // reaching the cache-pressure regime (2^20 entries = 16 MiB of 16-byte
+  // entries, far past L2).
+  const std::vector<int> exponents = full_scale()
+                                         ? std::vector<int>{8, 10, 12, 14,
+                                                            16, 18, 20}
+                                         : std::vector<int>{8, 12, 16, 20};
+  const std::size_t iters = scaled<std::size_t>(1u << 15, 1u << 18);
 
-BENCHMARK_MAIN();
+  print_header(
+      "MICRO substrates: steady-state push+pop pairs at fixed depth "
+      "(Mops/s, higher is better)",
+      "one sequential structure per cell, prefilled once; depth = the "
+      "regime a MultiQueue slot lives in");
+  std::printf("iters/trial=%zu trials=%u (PCQ_BENCH_FULL=%d)\n", iters,
+              trials() + 2, full_scale() ? 1 : 0);
+
+  std::vector<std::string> columns{"log2_depth"};
+  for (const auto& s : kSeries) columns.emplace_back(s.name);
+  table_printer table(columns);
+
+  // results[s][d] = Mops/s for kSeries[s] at exponents[d].
+  std::vector<std::vector<double>> results(std::size(kSeries));
+  for (const int e : exponents) {
+    const std::size_t depth = std::size_t{1} << e;
+    std::vector<double> row{static_cast<double>(e)};
+    for (std::size_t s = 0; s < std::size(kSeries); ++s) {
+      const double mops = kSeries[s].run(depth, iters);
+      results[s].push_back(mops);
+      row.push_back(mops);
+    }
+    table.row(row);
+  }
+
+  // Scalar utility costs: what every d-choice probe / sticky decision /
+  // timed-extension tick pays before touching a heap.
+  const std::size_t micro_iters = scaled<std::size_t>(1u << 20, 1u << 23);
+  xoshiro256ss rng(0x7u);
+  const double ns_rng_next = measure_ns(micro_iters, [&] { g_sink += rng(); });
+  const double ns_rng_bounded =
+      measure_ns(micro_iters, [&] { g_sink += rng.bounded(12345); });
+  const double ns_rng_exponential = measure_ns(micro_iters, [&] {
+    g_sink += static_cast<u64>(rng.exponential(64.0) * 1e3);
+  });
+  std::vector<double> weights(64);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 7);
+  }
+  alias_table alias(weights);
+  const double ns_alias_sample =
+      measure_ns(micro_iters, [&] { g_sink += alias.sample(rng); });
+  const std::size_t fenwick_m = scaled<std::size_t>(1u << 16, 1u << 20);
+  rank_oracle oracle(fenwick_m);
+  for (std::size_t i = 0; i < fenwick_m; i += 2) oracle.insert(i);
+  const double ns_fenwick_toggle = measure_ns(micro_iters / 4, [&] {
+    const std::size_t label = 2 * rng.bounded(fenwick_m / 2);
+    if (oracle.contains(label)) {
+      g_sink += oracle.remove(label);
+    } else {
+      oracle.insert(label);
+    }
+  });
+  spinlock lock;
+  const double ns_spinlock = measure_ns(micro_iters, [&] {
+    lock.lock();
+    ++g_sink;
+    lock.unlock();
+  });
+
+  print_header("MICRO utility ops (ns/op, lower is better)",
+               "the scalar costs layered onto every queue operation");
+  table_printer micro_table({"rng_next", "rng_bounded", "rng_exp",
+                             "alias_sample", "fenwick_toggle", "spinlock"});
+  micro_table.row({ns_rng_next, ns_rng_bounded, ns_rng_exponential,
+                   ns_alias_sample, ns_fenwick_toggle, ns_spinlock});
+
+  const std::string json_path = json_artifact_path("BENCH_micro.json");
+  json_writer json(json_path);
+  json.begin_object()
+      .kv("bench", "micro_substrates")
+      .kv("unit", "mops_per_sec")
+      .kv("full_scale", full_scale())
+      .kv("x_axis", "log2_heap_depth")
+      .kv("iters_per_trial", iters)
+      .kv("trials", static_cast<std::size_t>(trials()) + 2)
+      .kv("ns_rng_next", ns_rng_next)
+      .kv("ns_rng_bounded", ns_rng_bounded)
+      .kv("ns_rng_exponential", ns_rng_exponential)
+      .kv("ns_alias_sample", ns_alias_sample)
+      .kv("ns_fenwick_toggle", ns_fenwick_toggle)
+      .kv("ns_spinlock_uncontended", ns_spinlock);
+  json.key("threads").begin_array();
+  for (const int e : exponents) json.value(static_cast<unsigned>(e));
+  json.end_array();
+  json.key("series").begin_array();
+  for (std::size_t s = 0; s < std::size(kSeries); ++s) {
+    json.begin_object().kv("name", kSeries[s].name);
+    json.key("mops").begin_array();
+    for (const double m : results[s]) json.value(m);
+    json.end_array().end_object();
+  }
+  json.end_array().end_object();
+  std::printf("\n%s %s (checksum %llx)\n",
+              json.ok() ? "wrote" : "FAILED to write", json_path.c_str(),
+              static_cast<unsigned long long>(g_sink));
+
+  std::printf(
+      "expected shape: near-ties while everything is cache-resident, then "
+      "the d-ary\nlayout (fewer levels, one line per sibling group) "
+      "pulling ahead of binary past\n~2^16; the skiplist column documents "
+      "why it is nobody's inner queue.\n");
+  return 0;
+}

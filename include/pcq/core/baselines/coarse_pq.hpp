@@ -1,4 +1,5 @@
-// Coarse-grained baseline: one binary heap behind one lock. The paper's
+// Coarse-grained baseline: one sequential heap substrate (same Heap
+// selector knob as multi_queue; default 4-ary) behind one lock. The paper's
 // Figure 1 "lock-based heap" competitor — strict semantics (rank always
 // 0), collapses under contention. Models the full handle concept of
 // core/pq_handle.hpp (move-only handles, batch ops, timed extension) so
@@ -21,17 +22,27 @@
 #include <functional>
 #include <utility>
 
-#include "core/detail/binary_heap.hpp"
+#include "heap/dary_heap.hpp"
+#include "heap/heap_concept.hpp"
 #include "util/spinlock.hpp"
 
 namespace pcq {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Heap = dary_heap<4>>
 class coarse_pq {
+  using inner_heap = heap_substrate_t<Heap, Key, Value, Compare>;
+  PCQ_ASSERT_HEAP_CONCEPT(inner_heap);
+
  public:
   using entry = std::pair<Key, Value>;
 
-  coarse_pq() = default;
+  /// expected_capacity pre-sizes the inner heap so a prefill of that
+  /// many elements never reallocates while holding the lock (the same
+  /// hint as mq_config::expected_capacity; 0 = no hint).
+  explicit coarse_pq(std::size_t expected_capacity = 0) {
+    if (expected_capacity > 0) heap_.reserve(expected_capacity);
+  }
 
   std::size_t num_queues() const { return 1; }
 
@@ -133,7 +144,7 @@ class coarse_pq {
   }
 
   spinlock lock_;
-  detail::binary_heap<Key, Value, Compare> heap_;
+  inner_heap heap_;
   std::atomic<std::size_t> count_{0};
   std::atomic<std::uint64_t> clock_{0};
 };

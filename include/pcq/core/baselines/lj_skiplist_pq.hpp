@@ -67,8 +67,14 @@ class lj_skiplist_pq {
       other.queue_ = nullptr;
     }
 
+    // Scalar ops use the lazy-pin elision (util/ebr.hpp): each ends by
+    // parking the epoch pin instead of dropping it, so back-to-back
+    // scalar push/pop on this handle re-enter with one CAS instead of
+    // the full store+fence+re-read pin protocol.
     void push(const Key& key, const Value& value) {
-      queue_->list_.insert(rh_, rng_, key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      queue_->list_.insert_pinned(rh_, rng_, key, value);
+      guard.unpin_lazy();
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
@@ -78,7 +84,9 @@ class lj_skiplist_pq {
       // this insert and the timestamp-merged replay never sees an
       // unmatched remove. (Drawing after the insert loses that race.)
       const std::uint64_t ts = queue_->tick();
-      queue_->list_.insert(rh_, rng_, key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      queue_->list_.insert_pinned(rh_, rng_, key, value);
+      guard.unpin_lazy();
       return ts;
     }
 
@@ -94,11 +102,17 @@ class lj_skiplist_pq {
     }
 
     bool try_pop(Key& key, Value& value) {
-      return queue_->list_.try_pop_front(rh_, key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      const bool ok = queue_->list_.try_pop_front_pinned(rh_, key, value);
+      guard.unpin_lazy();
+      return ok;
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {
-      if (!queue_->list_.try_pop_front(rh_, key, value)) return false;
+      auto guard = queue_->list_.pin_resume(rh_);
+      const bool ok = queue_->list_.try_pop_front_pinned(rh_, key, value);
+      guard.unpin_lazy();
+      if (!ok) return false;
       ts = queue_->tick();
       return true;
     }

@@ -76,8 +76,13 @@ class spray_pq {
       other.queue_ = nullptr;
     }
 
+    // Scalar ops use the lazy-pin elision (util/ebr.hpp): each parks
+    // its epoch pin on exit so the next scalar op on this handle can
+    // resume it with one CAS.
     void push(const Key& key, const Value& value) {
-      queue_->list_.insert(rh_, rng_, key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      queue_->list_.insert_pinned(rh_, rng_, key, value);
+      guard.unpin_lazy();
     }
 
     std::uint64_t push_timed(const Key& key, const Value& value) {
@@ -85,7 +90,9 @@ class spray_pq {
       // a racing consumer's remove ticket ordered after this insert, so
       // replayed removes always match.
       const std::uint64_t ts = queue_->tick();
-      queue_->list_.insert(rh_, rng_, key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      queue_->list_.insert_pinned(rh_, rng_, key, value);
+      guard.unpin_lazy();
       return ts;
     }
 
@@ -101,9 +108,10 @@ class spray_pq {
     }
 
     bool try_pop(Key& key, Value& value) {
-      auto guard = queue_->list_.pin(rh_);
-      (void)guard;
-      return pop_pinned(key, value);
+      auto guard = queue_->list_.pin_resume(rh_);
+      const bool ok = pop_pinned(key, value);
+      guard.unpin_lazy();
+      return ok;
     }
 
     bool try_pop_timed(Key& key, Value& value, std::uint64_t& ts) {

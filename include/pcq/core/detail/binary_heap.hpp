@@ -1,77 +1,19 @@
-// Array-backed binary min-heap of (key, value) pairs — the inner
-// sequential priority queue behind each MultiQueue slot and the coarse
-// baseline. Compare orders keys; the top is the *smallest* under Compare
-// (std::less => min-heap), matching deleteMin semantics.
+// Compatibility spelling. The inner sequential binary heap moved to
+// heap/binary_heap.hpp when the substrate family grew (PR 9) — and
+// gained bottom-up sift-down there. `pcq::detail::binary_heap` remains
+// the name graph/dijkstra.hpp and the original unit tests use; it is
+// the SAME type as pcq::binary_heap_t, so anything written against the
+// old spelling gets the improved pop for free.
 
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <utility>
-#include <vector>
+#include "heap/binary_heap.hpp"
 
 namespace pcq {
 namespace detail {
 
 template <typename Key, typename Value, typename Compare = std::less<Key>>
-class binary_heap {
- public:
-  using entry = std::pair<Key, Value>;
-
-  explicit binary_heap(Compare compare = Compare()) : compare_(compare) {}
-
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
-  void reserve(std::size_t n) { entries_.reserve(n); }
-
-  const Key& top_key() const { return entries_.front().first; }
-  const entry& top() const { return entries_.front(); }
-
-  void push(const Key& key, const Value& value) {
-    entries_.emplace_back(key, value);
-    sift_up(entries_.size() - 1);
-  }
-
-  entry pop() {
-    entry result = std::move(entries_.front());
-    entries_.front() = std::move(entries_.back());
-    entries_.pop_back();
-    if (!entries_.empty()) sift_down(0);
-    return result;
-  }
-
- private:
-  void sift_up(std::size_t i) {
-    entry moving = std::move(entries_[i]);
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!compare_(moving.first, entries_[parent].first)) break;
-      entries_[i] = std::move(entries_[parent]);
-      i = parent;
-    }
-    entries_[i] = std::move(moving);
-  }
-
-  void sift_down(std::size_t i) {
-    entry moving = std::move(entries_[i]);
-    const std::size_t n = entries_.size();
-    while (true) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n &&
-          compare_(entries_[child + 1].first, entries_[child].first)) {
-        ++child;
-      }
-      if (!compare_(entries_[child].first, moving.first)) break;
-      entries_[i] = std::move(entries_[child]);
-      i = child;
-    }
-    entries_[i] = std::move(moving);
-  }
-
-  std::vector<entry> entries_;
-  Compare compare_;
-};
+using binary_heap = binary_heap_t<Key, Value, Compare>;
 
 }  // namespace detail
 }  // namespace pcq

@@ -99,11 +99,14 @@ template <typename Node>
 class reclaim_state<Node, reclaim_deferred> {
  public:
   struct handle_type {};
-  struct guard_type {};
+  struct guard_type {
+    void unpin_lazy() {}
+  };
   static constexpr bool kEager = false;
 
   handle_type get_handle() { return {}; }
   static guard_type pin(handle_type&) { return {}; }
+  static guard_type pin_resume(handle_type&) { return {}; }
 
   void on_alloc(Node* n) {
     auto& list = stripes_[stripe_of(n)].allocated;
@@ -158,6 +161,7 @@ class reclaim_state<Node, reclaim_ebr> {
 
   handle_type get_handle() { return domain_.get_handle(); }
   static guard_type pin(handle_type& h) { return h.pin(); }
+  static guard_type pin_resume(handle_type& h) { return h.pin_resume(); }
   void on_alloc(Node*) {}
   static void on_unlinked(handle_type& h, Node* n) { h.retire(n); }
 
@@ -228,6 +232,14 @@ class concurrent_skiplist {
   /// holding one. An empty no-op under reclaim_deferred.
   using pin_guard = typename reclaim_type::guard_type;
   pin_guard pin(reclaim_handle& rh) { return reclaim_type::pin(rh); }
+
+  /// Like pin(), but resumes a pin the caller previously ended with
+  /// guard.unpin_lazy() — one CAS instead of store+fence+re-read when
+  /// the same handle's operations run back to back (the scalar-op pin
+  /// elision; see util/ebr.hpp). Identical guarantees either way.
+  pin_guard pin_resume(reclaim_handle& rh) {
+    return reclaim_type::pin_resume(rh);
+  }
 
   /// Live elements (inserted minus claimed), summed over striped counters.
   /// Approximate under concurrency, exact when quiescent.

@@ -1,10 +1,16 @@
 // The concurrent (1+beta)-choice MultiQueue of Alistarh, Kopinsky, Li,
 // Nadiradze, "The Power of Choice in Priority Scheduling" (PODC 2017).
 //
-// Structure: n = queue_factor * num_threads sequential binary heaps, each
+// Structure: n = queue_factor * num_threads sequential priority queues
+// (the Heap substrate parameter — any selector modeling
+// heap/heap_concept.hpp; default is the cache-aware 4-ary heap), each
 // guarded by its own spinlock, each publishing its current minimum key in
 // an atomic "top" cell so deleteMin can compare candidates without
-// locking.
+// locking. The substrate choice never touches the decision procedure:
+// which queue an op samples, how many RNG draws it makes, and which
+// published tops it compares are identical for every Heap — only the
+// per-op constant factor inside the lock changes (measured head-to-head
+// by bench_micro_substrates and fig1's substrate columns).
 //
 // insert(key):   sample one queue uniformly (optionally sticky for s
 //                consecutive inserts), lock it, push.
@@ -72,7 +78,8 @@
 #include <utility>
 #include <vector>
 
-#include "core/detail/binary_heap.hpp"
+#include "heap/dary_heap.hpp"
+#include "heap/heap_concept.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 #include "util/striped_counter.hpp"
@@ -100,15 +107,74 @@ struct mq_config {
   /// deleteMin's lock/publish at a bounded rank-relaxation cost (see the
   /// header comment). Ablated in bench_abl_batch.
   std::size_t pop_batch = 1;
+  /// Expected number of live elements across the whole queue; when
+  /// nonzero, each slot heap reserves its uniform share (plus
+  /// balls-into-bins slack) at construction, so a prefill of this size
+  /// never reallocates inside a queue lock. Purely a capacity hint —
+  /// never a limit.
+  std::size_t expected_capacity = 0;
+  /// Opt-in adaptive pop-buffer sizing: when true, each handle sizes its
+  /// own refill batch B dynamically in [1, pop_batch_max] (grow on
+  /// lock-contention/full-buffer signals, shrink on emptiness signals —
+  /// see adaptive_batch_controller), starting from pop_batch. Per-handle
+  /// state only, and no effect on the sampling decision procedure: the
+  /// RNG draws per deleteMin attempt are identical whatever B is.
+  bool adaptive_batch = false;
+  /// Upper bound for the adaptive controller's batch size.
+  std::size_t pop_batch_max = 64;
   /// Base seed for the per-thread sampling RNG streams.
   std::uint64_t seed = 0x706371u;  // "pcq"
 };
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+/// Per-handle pop-buffer size governor for mq_config::adaptive_batch.
+/// Pure deterministic function of the refill outcomes it observes (no
+/// clocks, no RNG, no shared state), so transitions are unit-testable:
+///
+///   grow  (B *= 2, up to max):  the refill came back FULL (the slot had
+///          at least B elements — demand outruns the buffer), or the
+///          refill hit lock contention (a bigger buffer means fewer lock
+///          acquisitions per element, which is the lever against
+///          contention).
+///   shrink (B /= 2, down to 1): the refill found NOTHING (the emptiness
+///          sweep verdict — buffering an almost-empty queue just
+///          concentrates the last elements in one thread), or came back
+///          under half-full (the slots are shallower than B, so the
+///          buffer is overshooting what a single slot can supply).
+///   hold:  uncontended refill in [B/2, B) — supply roughly matches B.
+///
+/// Shrink wins when both signals fire (an empty contended refill means
+/// the queue is draining; backing off is the right move).
+class adaptive_batch_controller {
+ public:
+  adaptive_batch_controller(std::size_t initial, std::size_t max_batch)
+      : max_(max_batch < 1 ? 1 : max_batch) {
+    batch_ = initial < 1 ? 1 : (initial > max_ ? max_ : initial);
+  }
+
+  std::size_t batch() const { return batch_; }
+
+  void on_refill(std::size_t requested, std::size_t got, bool contended) {
+    if (got == 0 || got < requested / 2) {
+      batch_ = batch_ / 2 < 1 ? 1 : batch_ / 2;
+    } else if (contended || got == requested) {
+      batch_ = batch_ * 2 > max_ ? max_ : batch_ * 2;
+    }
+  }
+
+ private:
+  std::size_t max_;
+  std::size_t batch_;
+};
+
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Heap = dary_heap<4>>
 class multi_queue {
   static_assert(std::is_trivially_copyable<Key>::value,
                 "multi_queue keys must be trivially copyable (they are "
                 "published through std::atomic)");
+
+  using slot_heap = heap_substrate_t<Heap, Key, Value, Compare>;
+  PCQ_ASSERT_HEAP_CONCEPT(slot_heap);
 
  public:
   using entry = std::pair<Key, Value>;
@@ -121,6 +187,20 @@ class multi_queue {
     if (config_.choices < 1) config_.choices = 1;
     if (config_.stickiness < 1) config_.stickiness = 1;
     if (config_.pop_batch < 1) config_.pop_batch = 1;
+    if (config_.pop_batch_max < config_.pop_batch) {
+      config_.pop_batch_max = config_.pop_batch;
+    }
+    if (config_.expected_capacity > 0) {
+      // Uniform share + 25% slack: random inserts spread like balls into
+      // bins, so the max-loaded slot overshoots E/n by O(sqrt(E/n log n));
+      // the slack absorbs that without doubling the footprint.
+      const std::size_t share =
+          (config_.expected_capacity + num_queues_ - 1) / num_queues_;
+      const std::size_t per_slot = share + share / 4 + 1;
+      for (std::size_t i = 0; i < num_queues_; ++i) {
+        slots_[i].heap.reserve(per_slot);
+      }
+    }
   }
 
   std::size_t num_queues() const { return num_queues_; }
@@ -144,6 +224,7 @@ class multi_queue {
           batch_scratch_(std::move(other.batch_scratch_)),
           buffer_(std::move(other.buffer_)),
           buffer_pos_(other.buffer_pos_),
+          adaptive_(other.adaptive_),
           stripe_(other.stripe_),
           sticky_queue_(other.sticky_queue_),
           sticky_left_(other.sticky_left_) {
@@ -200,6 +281,7 @@ class multi_queue {
         : queue_(queue),
           rng_(derive_seed(queue->config_.seed, thread_id)),
           scratch_(std::min(queue->config_.choices, queue->num_queues_)),
+          adaptive_(queue->config_.pop_batch, queue->config_.pop_batch_max),
           stripe_(thread_id) {}
 
     multi_queue* queue_;
@@ -208,6 +290,7 @@ class multi_queue {
     std::vector<entry> batch_scratch_;  ///< push_batch local sort area
     std::vector<entry> buffer_;         ///< pop buffer (refilled elements)
     std::size_t buffer_pos_ = 0;        ///< next undelivered buffer slot
+    adaptive_batch_controller adaptive_;  ///< per-handle B governor
     std::size_t stripe_ = 0;            ///< striped-counter lane
     std::size_t sticky_queue_ = 0;
     std::size_t sticky_left_ = 0;  ///< inserts remaining on sticky_queue_
@@ -226,7 +309,7 @@ class multi_queue {
     spinlock lock;
     std::atomic<Key> top{empty_key()};
     std::atomic<std::size_t> count{0};
-    detail::binary_heap<Key, Value, Compare> heap;
+    slot_heap heap;
   };
 
   void publish(slot& s) {
@@ -302,11 +385,17 @@ class multi_queue {
       return true;
     }
     // Refill path (untimed pops only — see header comment).
-    if (config_.pop_batch > 1 && ts_out == nullptr) {
-      h.buffer_.resize(config_.pop_batch);
+    if ((config_.pop_batch > 1 || config_.adaptive_batch) &&
+        ts_out == nullptr) {
+      const std::size_t want =
+          config_.adaptive_batch ? h.adaptive_.batch() : config_.pop_batch;
+      h.buffer_.resize(want);
+      bool contended = false;
       const std::size_t got =
-          pop_batch_impl(h, h.buffer_.data(), config_.pop_batch,
-                         /*counted=*/false);
+          pop_batch_impl(h, h.buffer_.data(), want,
+                         /*counted=*/false, nullptr,
+                         config_.adaptive_batch ? &contended : nullptr);
+      if (config_.adaptive_batch) h.adaptive_.on_refill(want, got, contended);
       h.buffer_.resize(got);
       h.buffer_pos_ = 0;
       if (got == 0) return false;
@@ -326,9 +415,13 @@ class multi_queue {
   /// The one deleteMin retry loop: (1+beta)/d candidate selection,
   /// try_lock, up to max_n heap pops under one lock, one publish. The
   /// scalar path is max_n = 1; ts_out (scalar callers only) draws the
-  /// linearization ticket inside the critical section.
+  /// linearization ticket inside the critical section. contended_out
+  /// (adaptive refills only) reports whether any candidate's try_lock
+  /// failed — an observation, not a branch: the sampling/RNG sequence is
+  /// identical whether or not it is requested.
   std::size_t pop_batch_impl(handle& h, entry* out, std::size_t max_n,
-                             bool counted, std::uint64_t* ts_out = nullptr) {
+                             bool counted, std::uint64_t* ts_out = nullptr,
+                             bool* contended_out = nullptr) {
     if (max_n == 0) return 0;
     const Compare compare{};
     backoff bo;
@@ -346,7 +439,9 @@ class multi_queue {
       }
       if (have_candidate) {
         slot& s = slots_[candidate];
-        if (s.lock.try_lock()) {
+        if (!s.lock.try_lock()) {
+          if (contended_out != nullptr) *contended_out = true;
+        } else {
           std::size_t got = 0;
           while (got < max_n && !s.heap.empty()) out[got++] = s.heap.pop();
           if (got > 0) {

@@ -1,0 +1,144 @@
+// Sequential skiplist substrate — the single-threaded cousin of the
+// lock-free Lindén–Jonsson list behind lj_skiplist_pq. It exists mostly
+// as a bench_micro_substrates reference: the skiplist's O(log n)
+// expected search walks one pointer per level with no locality, which
+// is exactly the cache behavior the flat-array heaps avoid — measuring
+// it alongside them quantifies how much of the concurrent skiplist
+// queues' cost is the data structure rather than the synchronization.
+// It still models the full substrate concept, so a
+// `multi_queue<..., seq_skiplist>` instantiation is legal (and
+// conformance-tested).
+//
+// deleteMin is the skiplist's best case: the minimum is the head's
+// level-0 successor, and unlinking it rewrites only the head's tower.
+// Tower heights are geometric(1/2) from a deterministic xorshift, so a
+// given push/pop sequence builds the same list every run.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "heap/heap_concept.hpp"
+
+namespace pcq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class seq_skiplist_t {
+ public:
+  using entry = std::pair<Key, Value>;
+
+  seq_skiplist_t() : seq_skiplist_t(Compare()) {}
+  explicit seq_skiplist_t(Compare compare)
+      : compare_(compare), head_(make_node(kMaxHeight, entry())) {
+    for (std::uint32_t i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+  }
+
+  seq_skiplist_t(seq_skiplist_t&& other) noexcept
+      : compare_(other.compare_),
+        head_(other.head_),
+        size_(other.size_),
+        rng_(other.rng_) {
+    other.head_ = nullptr;
+    other.size_ = 0;
+  }
+
+  ~seq_skiplist_t() {
+    if (head_ == nullptr) return;
+    node* n = head_->next[0];
+    while (n != nullptr) {
+      node* next = n->next[0];
+      free_node(n);
+      n = next;
+    }
+    free_node(head_);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// Allocation is per-node; the hint has nothing to preallocate.
+  void reserve(std::size_t /*n*/) {}
+
+  const Key& top_key() const { return head_->next[0]->e.first; }
+  const entry& top() const { return head_->next[0]->e; }
+
+  void push(const Key& key, const Value& value) {
+    const std::uint32_t height = random_height();
+    node* n = make_node(height, entry(key, value));
+    node* pred = head_;
+    for (std::uint32_t level = kMaxHeight; level-- > 0;) {
+      node* next = pred->next[level];
+      while (next != nullptr && compare_(next->e.first, key)) {
+        pred = next;
+        next = pred->next[level];
+      }
+      if (level < height) {
+        n->next[level] = next;
+        pred->next[level] = n;
+      }
+    }
+    ++size_;
+  }
+
+  entry pop() {
+    node* front = head_->next[0];
+    for (std::uint32_t i = 0; i < front->height; ++i) {
+      head_->next[i] = front->next[i];
+    }
+    entry result = std::move(front->e);
+    free_node(front);
+    --size_;
+    return result;
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxHeight = 20;
+
+  struct node {
+    entry e;
+    std::uint32_t height;
+    node** next;  ///< tower of `height` forward pointers
+  };
+
+  static node* make_node(std::uint32_t height, entry e) {
+    node* n = new node{std::move(e), height, nullptr};
+    n->next = new node*[height];
+    return n;
+  }
+
+  static void free_node(node* n) {
+    delete[] n->next;
+    delete n;
+  }
+
+  std::uint32_t random_height() {
+    // xorshift64; geometric(1/2) capped at kMaxHeight.
+    std::uint64_t x = rng_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_ = x;
+    std::uint32_t h = 1;
+    while (h < kMaxHeight && (x & 1u)) {
+      x >>= 1;
+      ++h;
+    }
+    return h;
+  }
+
+  Compare compare_;
+  node* head_;
+  std::size_t size_ = 0;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+};
+
+/// Selector: sequential skiplist (pointer-chasing reference substrate).
+struct seq_skiplist {
+  template <typename Key, typename Value, typename Compare>
+  using substrate = seq_skiplist_t<Key, Value, Compare>;
+};
+
+}  // namespace pcq
