@@ -17,6 +17,16 @@
 //                                    // anything the dispatch side still
 //                                    // buffers (k-LSM local blocks)
 //   std::size_t backlog() const;     // approximate queued count
+//   std::size_t reclaim(std::size_t worker,
+//                       std::vector<std::uint64_t>& out);
+//                                    // drain requests only worker w could
+//                                    // have served (its DEAD-worker
+//                                    // backlog) into out; a shared queue
+//                                    // has none and returns 0. Called by
+//                                    // the fault runners' recovery agent
+//                                    // once worker w is crashed — w no
+//                                    // longer fetches, so this cannot
+//                                    // race the fetch(w, ...) owner.
 //
 // Threading contract: dispatch() is called by exactly one arrival
 // thread; fetch(w, ...) only by worker w; seal() by the arrival thread
@@ -38,6 +48,16 @@
 // A false fetch is relaxed emptiness, exactly like the underlying
 // queues: "looked empty", never "is empty". Runners terminate on
 // completion counts, not on failed fetches.
+//
+// The fault runners (service/fault.hpp) layer graceful degradation
+// AROUND this concept without changing it: admission control decides
+// before dispatch() whether to shed (using backlog() as the load
+// signal), and crash-retry / stall-failover re-dispatches travel
+// through a runner-owned recovery queue that workers drain before
+// calling fetch() — never through dispatch(), which stays the single
+// arrival thread's (and may already be sealed when a late retry
+// fires). Every dispatcher therefore gets identical recovery
+// semantics, and the fault benches compare policies, not retry paths.
 
 #pragma once
 
@@ -94,6 +114,12 @@ class pq_dispatcher {
   void seal() { dispatch_handle_.reset(); }
 
   std::size_t backlog() const { return queue_->size(); }
+
+  // Shared queue: any live worker can pop a dead worker's work, so
+  // there is no stranded backlog to reclaim.
+  std::size_t reclaim(std::size_t, std::vector<std::uint64_t>&) {
+    return 0;
+  }
 
   priority_policy policy() const { return policy_; }
 
@@ -190,6 +216,22 @@ class po2_dispatcher {
   }
 
   void seal() {}  // nothing buffered on the dispatch side
+
+  // Per-worker FIFOs DO strand a dead worker's backlog: nobody else
+  // ever pops queue w. Reclaim drains it so the fault runners'
+  // recovery queue can re-route the orphans to live workers — the
+  // health-check rerouting a real load balancer does when a backend
+  // dies. Thread-safe against concurrent dispatch() (same lock).
+  std::size_t reclaim(std::size_t worker, std::vector<std::uint64_t>& out) {
+    worker_queue& q = queues_[worker];
+    q.lock.lock();
+    const std::size_t n = q.fifo.size();
+    for (std::uint64_t seq : q.fifo) out.push_back(seq);
+    q.fifo.clear();
+    q.len.store(0, std::memory_order_release);
+    q.lock.unlock();
+    return n;
+  }
 
   std::size_t backlog() const {
     std::size_t total = 0;

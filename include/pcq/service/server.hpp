@@ -74,15 +74,55 @@ struct request_record {
 
 struct service_result {
   std::uint64_t completed = 0;
+  /// Requests presented to the dispatch layer (= trace size). The fault
+  /// conservation invariant (service/fault.hpp) is
+  ///   completed + shed + lost == dispatched
+  /// — every request is served, shed at admission, or lost to a crash
+  /// with retries exhausted, exactly once. The fault runners enforce
+  /// the accounting; bench_fault exits nonzero on any violation.
+  std::uint64_t dispatched = 0;
+  std::uint64_t shed = 0;    ///< dropped by admission control at dispatch
+  std::uint64_t lost = 0;    ///< crash-abandoned with retries exhausted
+  std::uint64_t missed = 0;  ///< completions that finished past deadline
+  std::uint64_t retries = 0;    ///< crash-recovery re-dispatches issued
+  std::uint64_t failovers = 0;  ///< stalled in-flight requests duplicated
+  /// Requests drained from a DEAD worker's private backlog (dispatcher
+  /// reclaim()) and re-routed through recovery. Only dispatchers with
+  /// per-worker queues (po2) ever strand work this way; shared-queue
+  /// dispatchers report 0.
+  std::uint64_t reclaimed = 0;
   /// Realtime runner only: the stall watchdog fired — the dispatcher
   /// stopped producing fetches with requests still unaccounted for
   /// (completed < trace.size()), and the workers were stopped early.
   bool stalled = false;
   double seconds = 0.0;  ///< makespan: last completion (virtual) or wall
   std::vector<std::vector<request_record>> worker_logs;  ///< shard per worker
+  /// Completions per worker — the realtime runner's progress counters
+  /// surfaced (each worker owns its log shard, so the count is exact).
+  /// The fault bench asserts a crashed worker completed nothing after
+  /// its crash tick against these plus the shard timestamps.
+  std::vector<std::uint64_t> worker_completions;
   /// Virtual runner only: seq of every request in completion order (the
   /// deterministic object the exact-order tests assert on).
   std::vector<std::uint64_t> completion_order;
+
+  /// Deadline-miss fraction among COMPLETED requests (shed/lost work
+  /// never completes, so it is accounted by its own fractions below).
+  double miss_frac() const {
+    return completed > 0
+               ? static_cast<double>(missed) / static_cast<double>(completed)
+               : 0.0;
+  }
+  double shed_frac() const {
+    return dispatched > 0
+               ? static_cast<double>(shed) / static_cast<double>(dispatched)
+               : 0.0;
+  }
+  double lost_frac() const {
+    return dispatched > 0
+               ? static_cast<double>(lost) / static_cast<double>(dispatched)
+               : 0.0;
+  }
 };
 
 /// Merges the per-worker shards into exact mergeable summaries — the
@@ -122,6 +162,8 @@ service_result run_service_virtual(const std::vector<request>& trace,
 
   service_result result;
   result.worker_logs.resize(workers);
+  result.worker_completions.assign(workers, 0);
+  result.dispatched = trace.size();
   result.completion_order.reserve(trace.size());
 
   std::vector<double> busy_until(workers, kIdle);
@@ -173,7 +215,9 @@ service_result run_service_virtual(const std::vector<request>& trace,
       rec.service = r.service;
       result.worker_logs[cw].push_back(rec);
       result.completion_order.push_back(r.seq);
+      ++result.worker_completions[cw];
       ++result.completed;
+      if (now > r.deadline) ++result.missed;
       running[cw] = kNone;
       busy_until[cw] = kIdle;
     } else {
@@ -210,8 +254,11 @@ service_result run_service_realtime(const std::vector<request>& trace,
                                     double stall_timeout_seconds = 5.0) {
   service_result result;
   result.worker_logs.resize(workers);
+  result.worker_completions.assign(workers, 0);
+  result.dispatched = trace.size();
 
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> missed{0};
   std::atomic<std::uint64_t> started{0};  // successful fetches (watchdog)
   std::atomic<bool> stalled{false};
   const std::uint64_t total = trace.size();
@@ -278,6 +325,9 @@ service_result run_service_realtime(const std::vector<request>& trace,
         rec.completion = clock.elapsed_seconds();
         rec.service = r.service;
         log.push_back(rec);
+        if (rec.completion > r.deadline) {
+          missed.fetch_add(1, std::memory_order_relaxed);
+        }
         completed.fetch_add(1, std::memory_order_release);
       }
     });
@@ -286,8 +336,12 @@ service_result run_service_realtime(const std::vector<request>& trace,
   arrivals.join();
   for (auto& t : pool) t.join();
   result.completed = completed.load();
+  result.missed = missed.load();
   result.stalled = stalled.load();
   result.seconds = clock.elapsed_seconds();
+  for (std::size_t w = 0; w < workers; ++w) {
+    result.worker_completions[w] = result.worker_logs[w].size();
+  }
   return result;
 }
 

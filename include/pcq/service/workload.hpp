@@ -181,6 +181,24 @@ inline std::vector<request> make_open_loop_trace(
   return trace;
 }
 
+/// Span of an arrival-sorted trace: the last arrival instant. The fault
+/// plans (service/fault.hpp) place stall windows, crash ticks, and
+/// burst windows as fractions of this, so a plan scales with the trace
+/// it perturbs instead of hard-coding wall seconds.
+inline double trace_span(const std::vector<request>& trace) {
+  return trace.empty() ? 0.0 : trace.back().arrival;
+}
+
+/// Empirical mean service demand of a trace — the natural per-request
+/// estimate for admission control's wait predictor (the closed-form
+/// dist mean works too, but the empirical mean tracks the actual draw).
+inline double trace_mean_service(const std::vector<request>& trace) {
+  if (trace.empty()) return 0.0;
+  double total = 0.0;
+  for (const request& r : trace) total += r.service;
+  return total / static_cast<double>(trace.size());
+}
+
 /// Trace seconds → integer priority ticks (ns resolution). All queue
 /// keys are uint64 ticks so any pq_handle queue can carry them; ns
 /// granularity keeps distinct continuous deadlines distinct in practice

@@ -5,13 +5,25 @@ Usage:
     check_fig1_regression.py CURRENT.json BASELINE.json
         [--figure fig1] [--threshold 0.30] [--normalize coarse]
         [--gate-prefix mq_] [--two-sided]
+        [--metric mops] [--lower-is-better]
 
 Works for any BENCH_<figure>.json produced by benchlib/json_writer.hpp
 with the shape {threads: [...], series: [{name, mops: [...]}]} — fig1
 emits Mops/s, fig3 emits million-settled-nodes/s; both are
-higher-is-better, which is all the gate assumes. --figure only labels
-the report (the filename keeps its historical fig1 name; it gates every
+higher-is-better, the default assumption. --figure only labels the
+report (the filename keeps its historical fig1 name; it gates every
 figure).
+
+--metric KEY gates a different per-series list than "mops" (every
+json_writer series may carry extra aligned lists — bench_fault's
+miss_frac / shed_frac). --lower-is-better flips the verdict for
+metrics where UP is the regression (deadline-miss and shed fractions):
+a gated cell fails when it rises more than --threshold above baseline
+(and, with --two-sided, when it falls more than --threshold below —
+deterministic-bench drift). Zero is a valid best-case value for
+lower-is-better metrics, so zero current cells gate normally there;
+zero/absent BASELINE cells are skipped (no ratio to take), as are
+cells whose normalizer is zero.
 
 Compares every gated series (names starting with --gate-prefix, default
 "mq_") at every thread count present in both files and fails (exit 1)
@@ -44,11 +56,12 @@ import json
 import sys
 
 
-def load_series(path):
+def load_series(path, metric):
     with open(path) as f:
         doc = json.load(f)
     threads = doc["threads"]
-    series = {s["name"]: dict(zip(threads, s["mops"])) for s in doc["series"]}
+    series = {s["name"]: dict(zip(threads, s[metric]))
+              for s in doc["series"] if metric in s}
     return threads, series
 
 
@@ -67,13 +80,18 @@ def main():
                         help="series whose names start with this prefix gate; "
                              "the rest are informational")
     parser.add_argument("--two-sided", action="store_true",
-                        help="also fail on cells above baseline (for "
+                        help="also fail on cells moving the other way (for "
                              "deterministic benches, where any movement "
                              "means the process changed)")
+    parser.add_argument("--metric", default="mops",
+                        help="per-series list to gate (default: mops)")
+    parser.add_argument("--lower-is-better", action="store_true",
+                        help="fail on cells RISING more than --threshold "
+                             "above baseline (miss/shed fractions)")
     args = parser.parse_args()
 
-    cur_threads, current = load_series(args.current)
-    base_threads, baseline = load_series(args.baseline)
+    cur_threads, current = load_series(args.current, args.metric)
+    base_threads, baseline = load_series(args.baseline, args.metric)
     shared_threads = [t for t in cur_threads if t in base_threads]
     if not shared_threads:
         print(f"[{args.figure}] no overlapping thread counts between "
@@ -93,7 +111,9 @@ def main():
 
     def cell(series, name, t):
         v = series[name].get(t)
-        if v is None or v <= 0:
+        # 0 is a legitimate best-case value for lower-is-better metrics
+        # (a fraction that never happened); for throughput it means dead.
+        if v is None or v < 0 or (v == 0 and not args.lower_is_better):
             return None
         if args.normalize is None:
             return v
@@ -103,7 +123,8 @@ def main():
         return v / norm
 
     failures = []
-    print(f"[{args.figure}] (cells in {unit})")
+    print(f"[{args.figure}] (metric: {args.metric}, cells in {unit}, "
+          f"{'lower' if args.lower_is_better else 'higher'} is better)")
     print(f"{'series':<18}{'threads':>8}{'baseline':>10}{'current':>10}"
           f"{'ratio':>8}  gate")
     for name in sorted(set(current) & set(baseline)):
@@ -111,9 +132,11 @@ def main():
         for t in shared_threads:
             base = cell(baseline, name, t)
             cur = cell(current, name, t)
-            if base is None:
-                continue
+            if base is None or (args.lower_is_better and base == 0):
+                continue  # no baseline ratio to take
             if cur is None:
+                if args.lower_is_better:
+                    continue  # value or normalizer absent: nothing to gate
                 # A dead/zero current cell against a live baseline is the
                 # worst regression there is, not a skip.
                 if gated:
@@ -123,9 +146,14 @@ def main():
                 continue
             ratio = cur / base
             verdict = "ok"
-            if gated and (ratio < 1.0 - args.threshold or
-                          (args.two_sided and ratio > 1.0 + args.threshold)):
-                verdict = "REGRESSION" if ratio < 1.0 else "DRIFT"
+            if args.lower_is_better:
+                bad = ratio > 1.0 + args.threshold
+                drift = args.two_sided and ratio < 1.0 - args.threshold
+            else:
+                bad = ratio < 1.0 - args.threshold
+                drift = args.two_sided and ratio > 1.0 + args.threshold
+            if gated and (bad or drift):
+                verdict = "REGRESSION" if bad else "DRIFT"
                 failures.append((name, t, base, cur, ratio))
             print(f"{name:<18}{t:>8}{base:>10.2f}{cur:>10.2f}{ratio:>8.2f}"
                   f"  {verdict if gated else 'info'}")

@@ -1,0 +1,468 @@
+// Fault-injection + graceful-degradation tests (service/fault.hpp).
+//
+// The virtual-time fault runner is deterministic by construction, so
+// the interesting protocols are pinned EXACTLY on hand-built traces:
+// stall failover without double-counting (both races — the failover
+// copy winning and the stalled original winning), crash abandonment
+// with bounded retry delivering exactly the non-lost completions, and
+// deadline-aware admission shedding. Seeded runs then check the hard
+// conservation invariant (completed + shed + lost == dispatched) under
+// EVERY policy combination × dispatcher, byte-stability for a fixed
+// (config, seed), and equivalence with the fault-free runner under an
+// empty plan. A final real-threads section covers the supervisor path
+// (retry timers, failover scan, watchdog interplay) under TSan.
+
+#include "service/fault.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/multi_queue.hpp"
+#include "service/dispatch.hpp"
+#include "service/server.hpp"
+#include "service/workload.hpp"
+#include "test_macros.hpp"
+
+using namespace pcq::service;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Conservation + no-double-count + role invariants, shared by every
+// faulty run below. Returns per-seq completion flags for extra asserts.
+std::vector<bool> check_accounting(const service_result& result,
+                                   const std::vector<request>& trace,
+                                   const fault_plan& plan) {
+  CHECK(result.dispatched == trace.size());
+  CHECK(result.completed + result.shed + result.lost == result.dispatched);
+  std::vector<bool> seen(trace.size(), false);
+  std::uint64_t recorded = 0;
+  std::uint64_t missed = 0;
+  for (std::size_t w = 0; w < result.worker_logs.size(); ++w) {
+    const worker_fault& f =
+        w < plan.workers.size() ? plan.workers[w] : worker_fault{};
+    CHECK(result.worker_completions[w] == result.worker_logs[w].size());
+    for (const request_record& r : result.worker_logs[w]) {
+      CHECK(r.seq < trace.size());
+      CHECK(!seen[r.seq]);  // failover must never double-count
+      seen[r.seq] = true;
+      ++recorded;
+      if (r.completion > trace[r.seq].deadline) ++missed;
+      // A crashed worker records nothing started after its crash tick.
+      if (f.kind == fault_kind::crash) CHECK(r.start < f.crash_time);
+      // A stalled worker never completes strictly inside its window
+      // (suspension pushes the completion to stall_end or later).
+      if (f.kind == fault_kind::stall) {
+        CHECK(!(r.completion > f.stall_start && r.completion < f.stall_end));
+      }
+    }
+  }
+  CHECK(recorded == result.completed);
+  CHECK(missed == result.missed);
+  return seen;
+}
+
+}  // namespace
+
+int main() {
+  // ------------------------------------------------------------------
+  // Stall failover, case A: the failover copy WINS. Worker 1 freezes at
+  // t=1 holding seq1; the failover re-dispatch at stall_start+timeout=3
+  // lets worker 0 serve the duplicate at t=4 and complete it at t=9,
+  // while the frozen original would only finish at t=15. Exact
+  // schedule, one completion, no loss.
+  {
+    const std::vector<request> trace = {
+        {0.0, 4.0, 100.0, 0},
+        {0.0, 5.0, 100.0, 1},
+    };
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[1].kind = fault_kind::stall;
+    plan.workers[1].stall_start = 1.0;
+    plan.workers[1].stall_end = 11.0;
+    degrade_config degrade;
+    degrade.failover_timeout = 2.0;
+
+    auto fcfs = make_fcfs_dispatcher(2);
+    const service_result result =
+        run_service_virtual_faults(trace, fcfs, 2, plan, degrade);
+    check_accounting(result, trace, plan);
+    CHECK(result.completed == 2);
+    CHECK(result.failovers == 1);
+    CHECK(result.retries == 0 && result.lost == 0 && result.shed == 0);
+    CHECK(result.completion_order.size() == 2);
+    CHECK(result.completion_order[0] == 0);
+    CHECK(result.completion_order[1] == 1);
+    CHECK(result.worker_completions[0] == 2);
+    CHECK(result.worker_completions[1] == 0);  // frozen copy was dropped
+    CHECK_NEAR(result.seconds, 9.0, 0.0);
+  }
+
+  // Case B: the stalled ORIGINAL wins. Worker 0 is pinned on a 20s job,
+  // so nobody serves the failover duplicate before worker 1 resumes at
+  // t=11 and finishes at t=15; the duplicate is then fetched from the
+  // recovery queue and dropped against the settled table.
+  {
+    const std::vector<request> trace = {
+        {0.0, 20.0, 100.0, 0},
+        {0.0, 5.0, 100.0, 1},
+    };
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[1].kind = fault_kind::stall;
+    plan.workers[1].stall_start = 1.0;
+    plan.workers[1].stall_end = 11.0;
+    degrade_config degrade;
+    degrade.failover_timeout = 2.0;
+
+    auto fcfs = make_fcfs_dispatcher(2);
+    const service_result result =
+        run_service_virtual_faults(trace, fcfs, 2, plan, degrade);
+    check_accounting(result, trace, plan);
+    CHECK(result.completed == 2);
+    CHECK(result.failovers == 1);
+    CHECK(result.completion_order[0] == 1);
+    CHECK(result.completion_order[1] == 0);
+    CHECK(result.worker_completions[0] == 1);
+    CHECK(result.worker_completions[1] == 1);  // original kept its win
+    // seq1: suspended 1..11 after 1s of work, 4s remain -> completes 15.
+    CHECK_NEAR(result.worker_logs[1][0].completion, 15.0, 0.0);
+    CHECK_NEAR(result.seconds, 20.0, 0.0);
+  }
+
+  // No failover when the watchdog timeout exceeds the stall window:
+  // the run degrades to pure suspension (completion pushed out), with
+  // zero duplicates — the interplay regression's control arm.
+  {
+    const std::vector<request> trace = {
+        {0.0, 4.0, 100.0, 0},
+        {0.0, 5.0, 100.0, 1},
+    };
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[1].kind = fault_kind::stall;
+    plan.workers[1].stall_start = 1.0;
+    plan.workers[1].stall_end = 11.0;
+    degrade_config degrade;
+    degrade.failover_timeout = 30.0;  // > window: never fires
+
+    auto fcfs = make_fcfs_dispatcher(2);
+    const service_result result =
+        run_service_virtual_faults(trace, fcfs, 2, plan, degrade);
+    check_accounting(result, trace, plan);
+    CHECK(result.completed == 2);
+    CHECK(result.failovers == 0);
+    CHECK(result.worker_completions[1] == 1);
+    CHECK_NEAR(result.seconds, 15.0, 0.0);
+  }
+
+  // ------------------------------------------------------------------
+  // Crash + bounded retry: worker 1 dies at t=2 holding seq1. With one
+  // retry allowed, the abandoned request is re-dispatched at
+  // crash + backoff = 3 and the survivor completes it: zero lost. With
+  // retries exhausted (max_retries = 0) the same request is LOST, and
+  // the non-lost completions are exactly the rest of the trace.
+  {
+    const std::vector<request> trace = {
+        {0.0, 1.0, 100.0, 0},
+        {0.0, 5.0, 100.0, 1},
+    };
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[1].kind = fault_kind::crash;
+    plan.workers[1].crash_time = 2.0;
+
+    degrade_config retrying;
+    retrying.max_retries = 1;
+    retrying.retry_backoff = 1.0;
+    auto fcfs = make_fcfs_dispatcher(2);
+    const service_result recovered =
+        run_service_virtual_faults(trace, fcfs, 2, plan, retrying);
+    check_accounting(recovered, trace, plan);
+    CHECK(recovered.completed == 2);
+    CHECK(recovered.lost == 0);
+    CHECK(recovered.retries == 1);
+    CHECK(recovered.worker_completions[1] == 0);
+    // seq1 re-dispatched at 3, served by worker 0: completes at 8.
+    CHECK_NEAR(recovered.worker_logs[0][1].start, 3.0, 0.0);
+    CHECK_NEAR(recovered.seconds, 8.0, 0.0);
+
+    degrade_config no_retry;  // defaults: max_retries = 0
+    auto fcfs2 = make_fcfs_dispatcher(2);
+    const service_result dropped =
+        run_service_virtual_faults(trace, fcfs2, 2, plan, no_retry);
+    const std::vector<bool> seen = check_accounting(dropped, trace, plan);
+    CHECK(dropped.completed == 1);
+    CHECK(dropped.lost == 1);
+    CHECK(dropped.retries == 0);
+    CHECK(seen[0] && !seen[1]);  // exactly the non-lost request completed
+    CHECK_NEAR(dropped.seconds, 2.0, 0.0);
+  }
+
+  // ------------------------------------------------------------------
+  // Admission control sheds exactly the provably-late request: with one
+  // worker pinned on a 10s job, seq1 (slack 2 beyond its own service)
+  // is admitted at predicted completion == deadline, seq2 is shed at
+  // predicted 4 > deadline 2.5. The admitted seq1 still misses — shed
+  // and missed are different ledgers and both are counted.
+  {
+    const std::vector<request> trace = {
+        {0.0, 10.0, 100.0, 0},
+        {1.0, 1.0, 3.0, 1},
+        {2.0, 1.0, 2.5, 2},
+    };
+    fault_plan plan;
+    plan.workers.resize(1);
+    degrade_config degrade;
+    degrade.admission_control = true;
+    degrade.est_service = 1.0;
+
+    auto fcfs = make_fcfs_dispatcher(1);
+    const service_result result =
+        run_service_virtual_faults(trace, fcfs, 1, plan, degrade);
+    const std::vector<bool> seen = check_accounting(result, trace, plan);
+    CHECK(result.completed == 2 && result.shed == 1 && result.lost == 0);
+    CHECK(seen[0] && seen[1] && !seen[2]);
+    CHECK(result.missed == 1);  // seq1 completes at 11 > deadline 3
+    CHECK_NEAR(result.miss_frac(), 0.5, 1e-12);
+    CHECK_NEAR(result.shed_frac(), 1.0 / 3.0, 1e-12);
+    CHECK_NEAR(result.lost_frac(), 0.0, 0.0);
+    CHECK_NEAR(result.seconds, 11.0, 0.0);
+  }
+
+  // ------------------------------------------------------------------
+  // An EMPTY plan with fail-hard defaults must reproduce the fault-free
+  // virtual runner exactly — same schedule, same doubles.
+  {
+    workload_config cfg;
+    cfg.num_requests = 400;
+    cfg.service = service_dist::exponential_mean(50e-6);
+    cfg.arrival_rate = arrival_rate_for_load(0.9, 3, cfg.service);
+    cfg.seed = 7070;
+    const std::vector<request> trace = make_open_loop_trace(cfg);
+    fault_plan healthy;
+    healthy.workers.resize(3);
+
+    auto base_mq = make_mq_dispatcher(3);
+    const service_result base = run_service_virtual(trace, base_mq, 3);
+    auto fault_mq = make_mq_dispatcher(3);
+    const service_result faulty = run_service_virtual_faults(
+        trace, fault_mq, 3, healthy, degrade_config{});
+    CHECK(base.completion_order == faulty.completion_order);
+    CHECK(base.completed == faulty.completed);
+    CHECK(base.missed == faulty.missed);
+    CHECK(summarize(base).sojourn.sorted_samples() ==
+          summarize(faulty).sojourn.sorted_samples());
+    CHECK(faulty.shed == 0 && faulty.lost == 0 && faulty.failovers == 0);
+  }
+
+  // ------------------------------------------------------------------
+  // Seeded faulty runs: byte-stability + conservation under every
+  // policy combination × dispatcher on an intensity-5 plan (slow +
+  // stall + crash + bursts all active).
+  {
+    workload_config cfg;
+    cfg.num_requests = 600;
+    cfg.service = service_dist::pareto_mean(2.2, 50e-6);
+    cfg.arrival_rate = arrival_rate_for_load(0.85, 4, cfg.service);
+    cfg.seed = 909;
+    const std::vector<request> base_trace = make_open_loop_trace(cfg);
+    const fault_config fc = fault_config::at_intensity(5, 0xFA11);
+    const std::vector<request> trace =
+        apply_bursts(base_trace, plan_bursts(fc, trace_span(base_trace)));
+    CHECK(trace.size() == base_trace.size());
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      CHECK(trace[i].arrival >= trace[i - 1].arrival);  // still sorted
+      CHECK(trace[i].seq == i);
+    }
+    const fault_plan plan = make_fault_plan(fc, 4, trace_span(trace));
+    CHECK(plan.workers.size() == 4);
+    CHECK(plan.any_crash());
+
+    // Byte-stability: two independent runs of the same (config, seed)
+    // agree on every double.
+    degrade_config full;
+    full.admission_control = true;
+    full.est_service = trace_mean_service(trace);
+    full.max_retries = 2;
+    full.retry_backoff = 20 * 50e-6;
+    full.failover_timeout = 10 * 50e-6;
+    auto mq_a = make_mq_dispatcher(4);
+    auto mq_b = make_mq_dispatcher(4);
+    const service_result ra =
+        run_service_virtual_faults(trace, mq_a, 4, plan, full);
+    const service_result rb =
+        run_service_virtual_faults(trace, mq_b, 4, plan, full);
+    CHECK(ra.completion_order == rb.completion_order);
+    CHECK(ra.completed == rb.completed && ra.shed == rb.shed &&
+          ra.lost == rb.lost && ra.missed == rb.missed &&
+          ra.retries == rb.retries && ra.failovers == rb.failovers);
+    CHECK(ra.seconds == rb.seconds);
+    for (std::size_t w = 0; w < 4; ++w) {
+      CHECK(ra.worker_logs[w].size() == rb.worker_logs[w].size());
+      for (std::size_t i = 0; i < ra.worker_logs[w].size(); ++i) {
+        CHECK(ra.worker_logs[w][i].seq == rb.worker_logs[w][i].seq);
+        CHECK(ra.worker_logs[w][i].start == rb.worker_logs[w][i].start);
+        CHECK(ra.worker_logs[w][i].completion ==
+              rb.worker_logs[w][i].completion);
+      }
+    }
+    check_accounting(ra, trace, plan);
+
+    // Conservation under the full policy grid. Crash recovery with
+    // retries may still lose work (exhaustion) — the invariant is the
+    // accounting, not zero loss.
+    for (const bool admission : {false, true}) {
+      for (const std::size_t max_retries : {std::size_t(0), std::size_t(2)}) {
+        for (const double failover : {kInf, 10 * 50e-6}) {
+          degrade_config d;
+          d.admission_control = admission;
+          d.est_service = admission ? trace_mean_service(trace) : 0.0;
+          d.max_retries = max_retries;
+          d.retry_backoff = 20 * 50e-6;
+          d.failover_timeout = failover;
+
+          auto mq = make_mq_dispatcher(4);
+          check_accounting(
+              run_service_virtual_faults(trace, mq, 4, plan, d), trace,
+              plan);
+          auto fcfs = make_fcfs_dispatcher(4);
+          check_accounting(
+              run_service_virtual_faults(trace, fcfs, 4, plan, d), trace,
+              plan);
+          auto edf = make_edf_dispatcher(4);
+          check_accounting(
+              run_service_virtual_faults(trace, edf, 4, plan, d), trace,
+              plan);
+          po2_dispatcher po2(4, 1717);
+          check_accounting(
+              run_service_virtual_faults(trace, po2, 4, plan, d), trace,
+              plan);
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Dead-worker reclaim: po2's per-worker FIFOs strand a crashed
+  // worker's queued backlog — only reclaim() can save it. 50 requests
+  // land at t=0 and split across two FIFOs; worker 1 crashes mid-first-
+  // service, so its queued share must be reclaimed into recovery and
+  // served by worker 0. With max_retries = 0, EXACTLY the one in-flight
+  // request is lost; everything queued behind it survives. A shared
+  // queue (fcfs) under the same plan reclaims nothing and loses the
+  // same single in-flight request.
+  {
+    std::vector<request> trace;
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      trace.push_back({0.0, 1.0, 1000.0, i});
+    }
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[1].kind = fault_kind::crash;
+    plan.workers[1].crash_time = 0.5;
+    const degrade_config no_retry;  // fail-hard: reclaim alone must save
+
+    po2_dispatcher po2(2, 4242);
+    const service_result rp =
+        run_service_virtual_faults(trace, po2, 2, plan, no_retry);
+    check_accounting(rp, trace, plan);
+    CHECK(rp.lost == 1);  // only the in-flight victim
+    CHECK(rp.completed == 49);
+    CHECK(rp.reclaimed >= 1);  // the stranded FIFO was drained
+    CHECK(rp.worker_completions[1] == 0);  // died during its first job
+
+    auto fcfs = make_fcfs_dispatcher(2);
+    const service_result rf =
+        run_service_virtual_faults(trace, fcfs, 2, plan, no_retry);
+    check_accounting(rf, trace, plan);
+    CHECK(rf.lost == 1 && rf.completed == 49);
+    CHECK(rf.reclaimed == 0);  // shared queue: nothing to strand
+  }
+
+  // ------------------------------------------------------------------
+  // Plan construction invariants: deterministic for a fixed seed, at
+  // least one non-crashed worker, burst windows ordered and disjoint.
+  {
+    const fault_config fc = fault_config::at_intensity(4, 42);
+    const fault_plan p1 = make_fault_plan(fc, 2, 1.0);
+    const fault_plan p2 = make_fault_plan(fc, 2, 1.0);
+    for (std::size_t w = 0; w < 2; ++w) {
+      CHECK(p1.workers[w].kind == p2.workers[w].kind);
+    }
+    std::size_t crashes = 0;
+    for (const worker_fault& f : p1.workers) {
+      if (f.kind == fault_kind::crash) ++crashes;
+    }
+    CHECK(crashes >= 1 && crashes < 2);  // capped at workers - 1
+    const std::vector<burst_window> bursts = plan_bursts(fc, 1.0);
+    for (std::size_t i = 1; i < bursts.size(); ++i) {
+      CHECK(bursts[i].start >= bursts[i - 1].end);
+    }
+    // Level 1 is the healthy anchor: no roles, no bursts.
+    const fault_plan calm =
+        make_fault_plan(fault_config::at_intensity(1, 42), 4, 1.0);
+    for (const worker_fault& f : calm.workers) {
+      CHECK(f.kind == fault_kind::ok);
+    }
+    CHECK(calm.bursts.empty());
+  }
+
+  // ------------------------------------------------------------------
+  // Real threads (the TSan target): supervisor retry timers, failover
+  // scan, settled-table CAS races, and the watchdog NOT firing through
+  // an injected stall window shorter than its timeout. Wall-clock noise
+  // means no exact schedule — assert the interleaving-independent
+  // invariants.
+  {
+    workload_config cfg;
+    cfg.num_requests = 200;
+    cfg.service = service_dist::exponential_mean(20e-6);
+    cfg.arrival_rate = arrival_rate_for_load(0.6, 2, cfg.service);
+    cfg.seed = 31338;
+    const std::vector<request> trace = make_open_loop_trace(cfg);
+    const double span = trace_span(trace);
+
+    fault_plan plan;
+    plan.workers.resize(2);
+    plan.workers[0].kind = fault_kind::slow;
+    plan.workers[0].slow_factor = 2.0;
+    plan.workers[1].kind = fault_kind::stall;
+    plan.workers[1].stall_start = 0.3 * span;
+    plan.workers[1].stall_end = 0.3 * span + 0.05;  // 50 ms freeze
+
+    degrade_config degrade;
+    degrade.admission_control = true;
+    degrade.est_service = trace_mean_service(trace);
+    degrade.max_retries = 2;
+    degrade.retry_backoff = 1e-3;
+    degrade.failover_timeout = 5e-3;  // well inside the 50 ms window
+
+    auto mq = make_mq_dispatcher(2);
+    const service_result result = run_service_realtime_faults(
+        trace, mq, 2, plan, degrade, /*stall_timeout_seconds=*/5.0);
+    CHECK(!result.stalled);  // injected stall must not trip the watchdog
+    check_accounting(result, trace, plan);
+    CHECK(result.lost == 0);  // no crashes in this plan
+
+    // Crash + retry over real threads: the survivor absorbs the
+    // abandoned work; a crashed worker starts nothing after its tick.
+    fault_plan crashy;
+    crashy.workers.resize(2);
+    crashy.workers[1].kind = fault_kind::crash;
+    crashy.workers[1].crash_time = 0.4 * span;
+    auto po2 = po2_dispatcher(2, 99);
+    const service_result crashed = run_service_realtime_faults(
+        trace, po2, 2, crashy, degrade, /*stall_timeout_seconds=*/5.0);
+    CHECK(!crashed.stalled);
+    check_accounting(crashed, trace, crashy);
+  }
+
+  std::printf("test_fault OK\n");
+  return 0;
+}
